@@ -1,0 +1,184 @@
+//! The Smart Refresh baseline (Ghosh & Lee, MICRO 2007; §II-D).
+//!
+//! Smart Refresh keeps a small countdown counter per row. Any activation
+//! of the row (read or write) recharges its cells as a side effect, so the
+//! counter is reset and the next scheduled refresh of that row can be
+//! skipped. The technique therefore saves exactly the rows the workload
+//! touches within a retention window: effective for small memories with
+//! hot working sets, but — as the paper's Fig. 19 shows — its benefit
+//! evaporates as the memory grows while the working set does not.
+
+use std::collections::HashSet;
+
+use zr_dram::WindowStats;
+use zr_types::geometry::{BankId, RowIndex};
+use zr_types::{Geometry, Result, SystemConfig};
+
+/// The access-recency refresh-skipping baseline.
+///
+/// The model is window-granular: rows activated since the previous window
+/// boundary skip their one refresh in the current window, everything else
+/// refreshes. This is the steady-state behaviour of the per-row countdown
+/// counters the original design implements in the memory controller.
+///
+/// # Examples
+///
+/// ```
+/// use zr_baselines::SmartRefresh;
+/// use zr_types::{geometry::{BankId, RowIndex}, SystemConfig};
+///
+/// let mut sr = SmartRefresh::new(&SystemConfig::small_test())?;
+/// sr.note_access(BankId(0), RowIndex(3));
+/// let w = sr.run_window();
+/// // One rank-row (all of its chip-rows) skipped its refresh.
+/// assert_eq!(w.rows_skipped, 8);
+/// # Ok::<(), zr_types::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SmartRefresh {
+    geom: Geometry,
+    accessed: HashSet<(BankId, RowIndex)>,
+    totals: WindowStats,
+}
+
+impl SmartRefresh {
+    /// Builds the baseline for `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`zr_types::Error::InvalidConfig`] if the configuration
+    /// does not validate.
+    pub fn new(config: &SystemConfig) -> Result<Self> {
+        Ok(SmartRefresh {
+            geom: Geometry::new(config)?,
+            accessed: HashSet::new(),
+            totals: WindowStats::default(),
+        })
+    }
+
+    /// Records an activation of (`bank`, `row`) in the current window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` or `row` are out of range.
+    pub fn note_access(&mut self, bank: BankId, row: RowIndex) {
+        assert!(bank.0 < self.geom.num_banks(), "bank out of range");
+        assert!(row.0 < self.geom.rows_per_bank(), "row out of range");
+        self.accessed.insert((bank, row));
+    }
+
+    /// Number of distinct rank-rows accessed in the current window so far.
+    pub fn accessed_rows(&self) -> usize {
+        self.accessed.len()
+    }
+
+    /// Closes the current retention window: accessed rows skip their
+    /// refresh, all others refresh. Resets the access set for the next
+    /// window.
+    pub fn run_window(&mut self) -> WindowStats {
+        let chips = self.geom.num_chips() as u64;
+        let total = self.geom.total_chip_row_refreshes_per_window();
+        let skipped = self.accessed.len() as u64 * chips;
+        let window = WindowStats {
+            rows_refreshed: total - skipped,
+            rows_skipped: skipped,
+            ar_commands: self.geom.ar_sets_per_bank() * self.geom.num_banks() as u64,
+            table_reads: 0,
+            table_writes: 0,
+        };
+        self.accessed.clear();
+        self.totals.accumulate(&window);
+        window
+    }
+
+    /// Accumulated statistics since construction.
+    pub fn totals(&self) -> WindowStats {
+        self.totals
+    }
+
+    /// The geometry this baseline was built for.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sr() -> SmartRefresh {
+        SmartRefresh::new(&SystemConfig::small_test()).unwrap()
+    }
+
+    #[test]
+    fn no_accesses_refreshes_everything() {
+        let mut s = sr();
+        let w = s.run_window();
+        assert_eq!(w.rows_skipped, 0);
+        assert_eq!(
+            w.rows_refreshed,
+            s.geometry().total_chip_row_refreshes_per_window()
+        );
+    }
+
+    #[test]
+    fn duplicate_accesses_count_once() {
+        let mut s = sr();
+        s.note_access(BankId(0), RowIndex(1));
+        s.note_access(BankId(0), RowIndex(1));
+        s.note_access(BankId(1), RowIndex(1));
+        assert_eq!(s.accessed_rows(), 2);
+        let w = s.run_window();
+        assert_eq!(w.rows_skipped, 2 * 8);
+    }
+
+    #[test]
+    fn window_resets_access_set() {
+        let mut s = sr();
+        s.note_access(BankId(0), RowIndex(1));
+        s.run_window();
+        let w = s.run_window();
+        assert_eq!(w.rows_skipped, 0);
+    }
+
+    #[test]
+    fn skip_fraction_equals_touched_fraction() {
+        let mut s = sr();
+        let g = s.geometry().clone();
+        let rank_rows = g.rows_per_bank() * g.num_banks() as u64;
+        // Touch a quarter of all rows.
+        let touch = rank_rows / 4;
+        let mut touched = 0;
+        'outer: for b in 0..g.num_banks() {
+            for r in 0..g.rows_per_bank() {
+                if touched == touch {
+                    break 'outer;
+                }
+                s.note_access(BankId(b), RowIndex(r));
+                touched += 1;
+            }
+        }
+        let w = s.run_window();
+        assert!((w.skip_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let mut s = sr();
+        s.note_access(BankId(0), RowIndex(0));
+        s.run_window();
+        s.run_window();
+        assert_eq!(
+            s.totals().ar_commands,
+            2 * s.geometry().ar_sets_per_bank() * 2
+        );
+        assert_eq!(s.totals().rows_skipped, 8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_access_panics() {
+        let mut s = sr();
+        s.note_access(BankId(0), RowIndex(99_999));
+    }
+}

@@ -1,0 +1,147 @@
+//! Validity-aware refresh skipping (SRA / ESKIMO / PARIS; §II-D).
+//!
+//! These schemes skip refreshes for memory the OS (or compiler) has
+//! declared invalid or unallocated — which requires a *new hardware
+//! interface* to communicate validity to DRAM, the cost ZERO-REFRESH
+//! avoids by making the same information flow through the values
+//! themselves (§III-B). The oracle here models the best case of that
+//! family: perfect, instantaneous knowledge of the allocation map.
+//!
+//! The comparison it enables: on idle memory the oracle and ZERO-REFRESH
+//! skip the same rows (ZERO-REFRESH needs the OS to zero pages at
+//! deallocation, the oracle needs a DRAM interface); on *allocated*
+//! memory the oracle can never skip anything, while ZERO-REFRESH still
+//! harvests transformed values.
+
+use std::collections::HashSet;
+
+use zr_dram::WindowStats;
+use zr_types::geometry::{BankId, RowIndex};
+use zr_types::{Geometry, Result, SystemConfig};
+
+/// A perfect validity oracle: refreshes exactly the allocated rows.
+#[derive(Debug, Clone)]
+pub struct ValidityOracle {
+    geom: Geometry,
+    allocated: HashSet<(BankId, RowIndex)>,
+    totals: WindowStats,
+}
+
+impl ValidityOracle {
+    /// Builds the oracle with an empty allocation map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`zr_types::Error::InvalidConfig`] if the configuration
+    /// does not validate.
+    pub fn new(config: &SystemConfig) -> Result<Self> {
+        Ok(ValidityOracle {
+            geom: Geometry::new(config)?,
+            allocated: HashSet::new(),
+            totals: WindowStats::default(),
+        })
+    }
+
+    /// Marks a rank-row allocated (the OS-side interface ESKIMO needs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` or `row` are out of range.
+    pub fn allocate(&mut self, bank: BankId, row: RowIndex) {
+        assert!(bank.0 < self.geom.num_banks(), "bank out of range");
+        assert!(row.0 < self.geom.rows_per_bank(), "row out of range");
+        self.allocated.insert((bank, row));
+    }
+
+    /// Marks a rank-row deallocated.
+    pub fn deallocate(&mut self, bank: BankId, row: RowIndex) {
+        self.allocated.remove(&(bank, row));
+    }
+
+    /// Marks the first `fraction` of every bank's rows allocated.
+    pub fn allocate_fraction(&mut self, fraction: f64) {
+        let rows = (self.geom.rows_per_bank() as f64 * fraction.clamp(0.0, 1.0)) as u64;
+        for bank in 0..self.geom.num_banks() {
+            for row in 0..rows {
+                self.allocated.insert((BankId(bank), RowIndex(row)));
+            }
+        }
+    }
+
+    /// Number of allocated rank-rows.
+    pub fn allocated_rows(&self) -> usize {
+        self.allocated.len()
+    }
+
+    /// Runs one retention window: allocated rows refresh, the rest skip.
+    pub fn run_window(&mut self) -> WindowStats {
+        let chips = self.geom.num_chips() as u64;
+        let total = self.geom.total_chip_row_refreshes_per_window();
+        let refreshed = self.allocated.len() as u64 * chips;
+        let window = WindowStats {
+            rows_refreshed: refreshed,
+            rows_skipped: total - refreshed,
+            ar_commands: self.geom.ar_sets_per_bank() * self.geom.num_banks() as u64,
+            table_reads: 0,
+            table_writes: 0,
+        };
+        self.totals.accumulate(&window);
+        window
+    }
+
+    /// Accumulated statistics.
+    pub fn totals(&self) -> WindowStats {
+        self.totals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oracle() -> ValidityOracle {
+        ValidityOracle::new(&SystemConfig::small_test()).unwrap()
+    }
+
+    #[test]
+    fn empty_map_skips_everything() {
+        let mut o = oracle();
+        let w = o.run_window();
+        assert_eq!(w.rows_refreshed, 0);
+        assert_eq!(w.skip_fraction(), 1.0);
+    }
+
+    #[test]
+    fn fully_allocated_skips_nothing() {
+        let mut o = oracle();
+        o.allocate_fraction(1.0);
+        let w = o.run_window();
+        assert_eq!(w.rows_skipped, 0);
+        assert_eq!(w.normalized_refreshes(), 1.0);
+    }
+
+    #[test]
+    fn normalized_tracks_allocation_exactly() {
+        let mut o = oracle();
+        o.allocate_fraction(0.25);
+        let w = o.run_window();
+        assert!((w.normalized_refreshes() - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    fn deallocation_restores_skipping() {
+        let mut o = oracle();
+        o.allocate(BankId(0), RowIndex(3));
+        assert_eq!(o.allocated_rows(), 1);
+        o.deallocate(BankId(0), RowIndex(3));
+        let w = o.run_window();
+        assert_eq!(w.rows_refreshed, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_allocation_panics() {
+        let mut o = oracle();
+        o.allocate(BankId(99), RowIndex(0));
+    }
+}

@@ -1,0 +1,135 @@
+//! The zero-indicator-bit (ZIB) baseline (Patel et al., PATMOS 2005;
+//! §II-D "Value Bias Aware Skipping").
+//!
+//! ZIB stores one indicator bit per `granule_bits` of DRAM, set when the
+//! granule is all zeros; a row skips refresh when every granule is zero.
+//! Unlike ZERO-REFRESH it applies *no value transformation* — zeros must
+//! occur naturally — and it pays a large area overhead: the indicator
+//! bits cost `1/granule_bits` of the DRAM capacity (1/8 to 1/32 for the
+//! 8–32-bit granules of the original proposal), which is why the paper
+//! dismisses it.
+//!
+//! Note the cell-type blindness: ZIB tests for *logical* zeros, so
+//! without the cell-aware encoding, zeros in anti-cell rows are stored
+//! charged and cannot be skipped anyway — the comparison below detects
+//! discharged rows exactly like the ZERO-REFRESH hardware would, which is
+//! generous to ZIB.
+
+use zr_dram::DramRank;
+use zr_types::geometry::{BankId, ChipId, RowIndex};
+use zr_types::{Error, Result};
+
+/// The ZIB scheme evaluated over a populated rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZibModel {
+    /// Granule size in bits (8–32 in the original proposal).
+    pub granule_bits: u32,
+}
+
+impl ZibModel {
+    /// Builds the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if `granule_bits` is zero.
+    pub fn new(granule_bits: u32) -> Result<Self> {
+        if granule_bits == 0 {
+            return Err(Error::invalid_config("granule_bits must be non-zero"));
+        }
+        Ok(ZibModel { granule_bits })
+    }
+
+    /// DRAM capacity overhead of the indicator bits: one bit per granule.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let zib = zr_baselines::zib::ZibModel::new(8)?;
+    /// assert!((zib.capacity_overhead() - 0.125).abs() < 1e-12);
+    /// # Ok::<(), zr_types::Error>(())
+    /// ```
+    pub fn capacity_overhead(&self) -> f64 {
+        1.0 / self.granule_bits as f64
+    }
+
+    /// Fraction of chip-rows whose refresh ZIB could skip on the rank's
+    /// current contents — i.e. fully discharged rows, since ZIB does not
+    /// transform values. This equals ZERO-REFRESH's skip set for the same
+    /// (untransformed) image; the difference is the transformation that
+    /// *creates* discharged rows and the indicator-bit overhead.
+    pub fn skippable_fraction(&self, rank: &DramRank) -> f64 {
+        let geom = rank.geometry();
+        let total = geom.total_chip_row_refreshes_per_window();
+        rank.count_discharged_chip_rows() as f64 / total as f64
+    }
+
+    /// Like [`Self::skippable_fraction`], restricted to one bank (for
+    /// targeted tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    pub fn skippable_rows_in_bank(&self, rank: &DramRank, bank: BankId) -> u64 {
+        let geom = rank.geometry();
+        let mut n = 0;
+        for row in 0..geom.rows_per_bank() {
+            for chip in 0..geom.num_chips() {
+                if rank.chip_row_is_discharged(ChipId(chip), bank, RowIndex(row)) {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zr_types::SystemConfig;
+
+    #[test]
+    fn overhead_matches_paper_range() {
+        // "its area overhead is at least 1/8 ~ 1/32 of DRAM capacity".
+        assert!((ZibModel::new(8).unwrap().capacity_overhead() - 1.0 / 8.0).abs() < 1e-12);
+        assert!((ZibModel::new(32).unwrap().capacity_overhead() - 1.0 / 32.0).abs() < 1e-12);
+        assert!(ZibModel::new(0).is_err());
+    }
+
+    #[test]
+    fn cleansed_rank_is_fully_skippable() {
+        let rank = DramRank::new(&SystemConfig::small_test()).unwrap();
+        let zib = ZibModel::new(16).unwrap();
+        assert_eq!(zib.skippable_fraction(&rank), 1.0);
+    }
+
+    #[test]
+    fn charged_rows_are_not_skippable() {
+        let cfg = SystemConfig::small_test();
+        let mut rank = DramRank::new(&cfg).unwrap();
+        let line = vec![0x11u8; 64];
+        rank.write_encoded_line(BankId(0), RowIndex(0), 0, &line)
+            .unwrap();
+        let zib = ZibModel::new(16).unwrap();
+        let total = rank.geometry().total_chip_row_refreshes_per_window();
+        assert!(zib.skippable_fraction(&rank) < 1.0);
+        assert_eq!(
+            (zib.skippable_fraction(&rank) * total as f64).round() as u64,
+            total - 8
+        );
+    }
+
+    #[test]
+    fn per_bank_counting() {
+        let cfg = SystemConfig::small_test();
+        let mut rank = DramRank::new(&cfg).unwrap();
+        let zib = ZibModel::new(8).unwrap();
+        let g = rank.geometry().clone();
+        let full = g.rows_per_bank() * g.num_chips() as u64;
+        assert_eq!(zib.skippable_rows_in_bank(&rank, BankId(0)), full);
+        rank.write_encoded_line(BankId(0), RowIndex(2), 0, &[9u8; 64])
+            .unwrap();
+        assert_eq!(zib.skippable_rows_in_bank(&rank, BankId(0)), full - 8);
+        assert_eq!(zib.skippable_rows_in_bank(&rank, BankId(1)), full);
+    }
+}

@@ -1,0 +1,136 @@
+//! Criterion micro-benchmarks of the performance-critical components:
+//! the value-transformation stages (which sit on the memory datapath) and
+//! the refresh engine.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use zr_dram::{DramRank, RefreshEngine, RefreshPolicy};
+use zr_memctrl::MemoryController;
+use zr_transform::{bitplane, ebdi, rotation, ValueTransformer};
+use zr_types::geometry::{LineAddr, RowIndex};
+use zr_types::{CachelineConfig, SystemConfig};
+
+fn sample_line(seed: u64) -> [u8; 64] {
+    let mut line = [0u8; 64];
+    let mut s = seed | 1;
+    for b in line.iter_mut() {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *b = (s >> 56) as u8;
+    }
+    line
+}
+
+fn bench_transform_stages(c: &mut Criterion) {
+    let cfg = CachelineConfig::paper_default();
+    let mut group = c.benchmark_group("transform_stages");
+    group.throughput(Throughput::Bytes(64));
+
+    group.bench_function("ebdi_encode", |b| {
+        b.iter_batched_ref(
+            || sample_line(7),
+            |line| ebdi::encode_in_place(line, &cfg).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("ebdi_decode", |b| {
+        b.iter_batched_ref(
+            || {
+                let mut l = sample_line(7);
+                ebdi::encode_in_place(&mut l, &cfg).unwrap();
+                l
+            },
+            |line| ebdi::decode_in_place(line, &cfg).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("bitplane_transpose", |b| {
+        b.iter_batched_ref(
+            || sample_line(9),
+            |line| bitplane::transpose_in_place(line, &cfg).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("rotation", |b| {
+        b.iter_batched_ref(
+            || sample_line(11),
+            |line| rotation::rotate_in_place(line, RowIndex(5), 8).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let tf = ValueTransformer::new(&SystemConfig::paper_default()).unwrap();
+    let mut group = c.benchmark_group("pipeline");
+    group.throughput(Throughput::Bytes(64));
+    group.bench_function("encode", |b| {
+        b.iter_batched_ref(
+            || sample_line(3),
+            |line| tf.encode_in_place(line, RowIndex(600)).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("round_trip", |b| {
+        b.iter_batched_ref(
+            || sample_line(3),
+            |line| {
+                tf.encode_in_place(line, RowIndex(600)).unwrap();
+                tf.decode_in_place(line, RowIndex(600)).unwrap();
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_refresh_engine(c: &mut Criterion) {
+    let cfg = SystemConfig::small_test();
+    let mut group = c.benchmark_group("refresh_engine");
+    group.bench_function("window_all_discharged", |b| {
+        let mut rank = DramRank::new(&cfg).unwrap();
+        let mut engine = RefreshEngine::new(&cfg, RefreshPolicy::ChargeAware).unwrap();
+        engine.run_window(&mut rank); // settle: subsequent windows skip
+        b.iter(|| engine.run_window(&mut rank))
+    });
+    group.bench_function("window_conventional", |b| {
+        let mut rank = DramRank::new(&cfg).unwrap();
+        let mut engine = RefreshEngine::new(&cfg, RefreshPolicy::Conventional).unwrap();
+        b.iter(|| engine.run_window(&mut rank))
+    });
+    group.finish();
+}
+
+fn bench_controller_write(c: &mut Criterion) {
+    let cfg = SystemConfig::small_test();
+    let mut group = c.benchmark_group("controller");
+    group.throughput(Throughput::Bytes(64));
+    group.bench_function("write_line", |b| {
+        let mut mc = MemoryController::new(&cfg, RefreshPolicy::ChargeAware).unwrap();
+        let line = sample_line(1);
+        let mut addr = 0u64;
+        let total = mc.geometry().total_lines();
+        b.iter(|| {
+            mc.write_line(LineAddr(addr % total), &line).unwrap();
+            addr += 1;
+        })
+    });
+    group.bench_function("read_line", |b| {
+        let mut mc = MemoryController::new(&cfg, RefreshPolicy::ChargeAware).unwrap();
+        let line = sample_line(2);
+        mc.write_line(LineAddr(9), &line).unwrap();
+        b.iter(|| mc.read_line(LineAddr(9)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_transform_stages,
+    bench_full_pipeline,
+    bench_refresh_engine,
+    bench_controller_write
+);
+criterion_main!(benches);

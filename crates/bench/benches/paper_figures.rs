@@ -1,0 +1,33 @@
+//! `cargo bench -p zr-bench --bench paper_figures`
+//!
+//! Regenerates every table and figure of the paper's evaluation in one
+//! run (the same reports are available as individual binaries under
+//! `src/bin/`). This is a report generator, not a timing benchmark, so it
+//! opts out of the default harness.
+
+fn main() {
+    // `cargo bench` passes flags like `--bench`; this target takes none.
+    let exp = zr_bench::experiment_config();
+    eprintln!(
+        "[paper_figures] capacity={} MiB, windows={}, seed={:#x}",
+        exp.capacity_bytes >> 20,
+        exp.windows,
+        exp.seed
+    );
+
+    zr_bench::figures::table1_traces();
+    zr_bench::figures::fig4_refresh_power();
+    zr_bench::figures::fig5_util_cdf();
+    zr_bench::figures::fig6_zero_fraction(&exp).expect("fig6 failed");
+    zr_bench::figures::fig14_refresh_reduction(&exp).expect("fig14 failed");
+    zr_bench::figures::fig15_energy(&exp).expect("fig15 failed");
+    zr_bench::figures::fig16_temperature(&exp).expect("fig16 failed");
+    zr_bench::figures::fig17_ipc(&exp).expect("fig17 failed");
+    zr_bench::figures::fig18_row_size(&exp).expect("fig18 failed");
+    zr_bench::figures::fig19_scalability(&exp).expect("fig19 failed");
+    zr_bench::figures::table_overheads();
+    zr_bench::figures::datacenter_scenarios(&exp).expect("scenarios failed");
+    zr_bench::figures::prior_work(&exp).expect("prior work failed");
+    zr_bench::figures::ablations(&exp).expect("ablations failed");
+    zr_bench::figures::word_size_ablation(&exp).expect("word-size ablation failed");
+}

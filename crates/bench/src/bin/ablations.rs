@@ -1,0 +1,4 @@
+//! Design-choice ablations (transformation stages, tracking designs).
+fn main() {
+    zr_bench::figures::ablations(&zr_bench::experiment_config()).expect("experiment failed");
+}

@@ -1,0 +1,5 @@
+//! The abstract headline: reduction under the three trace scenarios.
+fn main() {
+    zr_bench::figures::datacenter_scenarios(&zr_bench::experiment_config())
+        .expect("experiment failed");
+}

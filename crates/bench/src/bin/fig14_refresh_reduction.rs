@@ -1,0 +1,5 @@
+//! Regenerates Fig. 14 of the paper.
+fn main() {
+    zr_bench::figures::fig14_refresh_reduction(&zr_bench::experiment_config())
+        .expect("experiment failed");
+}

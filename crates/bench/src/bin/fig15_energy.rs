@@ -1,0 +1,4 @@
+//! Regenerates Fig. 15 of the paper.
+fn main() {
+    zr_bench::figures::fig15_energy(&zr_bench::experiment_config()).expect("experiment failed");
+}

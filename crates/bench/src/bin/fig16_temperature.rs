@@ -1,0 +1,5 @@
+//! Regenerates Fig. 16 of the paper.
+fn main() {
+    zr_bench::figures::fig16_temperature(&zr_bench::experiment_config())
+        .expect("experiment failed");
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 17 of the paper.
+fn main() {
+    zr_bench::figures::fig17_ipc(&zr_bench::experiment_config()).expect("experiment failed");
+}

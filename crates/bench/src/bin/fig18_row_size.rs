@@ -1,0 +1,4 @@
+//! Regenerates Fig. 18 of the paper.
+fn main() {
+    zr_bench::figures::fig18_row_size(&zr_bench::experiment_config()).expect("experiment failed");
+}

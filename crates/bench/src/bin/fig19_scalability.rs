@@ -1,0 +1,5 @@
+//! Regenerates Fig. 19 of the paper.
+fn main() {
+    zr_bench::figures::fig19_scalability(&zr_bench::experiment_config())
+        .expect("experiment failed");
+}

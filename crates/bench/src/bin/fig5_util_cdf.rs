@@ -1,0 +1,4 @@
+//! Regenerates Fig. 5 of the paper.
+fn main() {
+    zr_bench::figures::fig5_util_cdf();
+}

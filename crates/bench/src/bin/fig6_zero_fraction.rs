@@ -1,0 +1,5 @@
+//! Regenerates Fig. 6 of the paper.
+fn main() {
+    zr_bench::figures::fig6_zero_fraction(&zr_bench::experiment_config())
+        .expect("experiment failed");
+}

@@ -1,0 +1,5 @@
+//! Prior-work comparison: ZERO-REFRESH vs ZIB / validity oracle / Smart
+//! Refresh (Sec. II-D positioning).
+fn main() {
+    zr_bench::figures::prior_work(&zr_bench::experiment_config()).expect("experiment failed");
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table I of the paper.
+fn main() {
+    zr_bench::figures::table1_traces();
+}

@@ -1,0 +1,5 @@
+//! EBDI word-size ablation (2/4/8-byte words).
+fn main() {
+    zr_bench::figures::word_size_ablation(&zr_bench::experiment_config())
+        .expect("experiment failed");
+}

@@ -1,0 +1,50 @@
+//! Benchmark harness regenerating every table and figure of the
+//! ZERO-REFRESH paper.
+//!
+//! Each table/figure has a function in [`figures`] that runs the
+//! experiment and prints the same rows/series the paper reports. The
+//! functions are shared by two kinds of targets:
+//!
+//! - `src/bin/*` — runnable reports:
+//!   `cargo run --release -p zr-bench --bin fig14_refresh_reduction`
+//! - `benches/*` — the same reports as `cargo bench` targets
+//!   (`harness = false`), plus Criterion micro-benchmarks of the
+//!   transformation pipeline and refresh engine in `benches/micro.rs`.
+//!
+//! Scale knobs (environment variables):
+//!
+//! - `ZR_CAPACITY_MB` — simulated capacity per run (default 16 MiB; the
+//!   mechanism is value-based so normalized results are scale-invariant),
+//! - `ZR_WINDOWS` — measured retention windows (default 4),
+//! - `ZR_SEED` — content/traffic seed (default 0x5EED).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod figures;
+pub mod report;
+
+use zr_sim::experiments::ExperimentConfig;
+
+/// Builds the harness-wide experiment configuration from the environment
+/// (see the crate docs for the knobs).
+pub fn experiment_config() -> ExperimentConfig {
+    let capacity_mb: u64 = std::env::var("ZR_CAPACITY_MB")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16);
+    let windows: u64 = std::env::var("ZR_WINDOWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let seed: u64 = std::env::var("ZR_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0x5EED);
+    ExperimentConfig {
+        capacity_bytes: capacity_mb << 20,
+        windows,
+        seed,
+        ..ExperimentConfig::default()
+    }
+}

@@ -1,0 +1,81 @@
+//! Small fixed-width table printing helpers for the figure reports, plus
+//! optional JSON emission (`ZR_JSON=<dir>` writes each figure's data as
+//! `<dir>/<name>.json`).
+
+use std::path::PathBuf;
+
+/// Prints a report header with a rule line.
+pub fn header(title: &str) {
+    println!();
+    println!("{title}");
+    println!("{}", "=".repeat(title.len().min(100)));
+}
+
+/// Prints a table row: a left-aligned label plus fixed-width numeric
+/// cells.
+pub fn row(label: &str, cells: &[f64]) {
+    print!("{label:<14}");
+    for c in cells {
+        print!(" {c:>8.3}");
+    }
+    println!();
+}
+
+/// Prints a table row with string cells.
+pub fn row_str(label: &str, cells: &[String]) {
+    print!("{label:<14}");
+    for c in cells {
+        print!(" {c:>8}");
+    }
+    println!();
+}
+
+/// Prints the column header line.
+pub fn columns(label: &str, names: &[&str]) {
+    print!("{label:<14}");
+    for n in names {
+        print!(" {n:>8}");
+    }
+    println!();
+    println!("{}", "-".repeat(14 + 9 * names.len()));
+}
+
+/// Writes `data` as pretty JSON to `$ZR_JSON/<name>.json` when the
+/// `ZR_JSON` environment variable names a directory; does nothing
+/// otherwise. IO or serialization problems are reported on stderr but
+/// never fail the experiment.
+pub fn write_json<T: serde::Serialize>(name: &str, data: &T) {
+    let Some(dir) = std::env::var_os("ZR_JSON") else {
+        return;
+    };
+    let dir = PathBuf::from(dir);
+    let path = dir.join(format!("{name}.json"));
+    let result = std::fs::create_dir_all(&dir)
+        .map_err(|e| e.to_string())
+        .and_then(|()| serde_json::to_string_pretty(data).map_err(|e| e.to_string()))
+        .and_then(|json| std::fs::write(&path, json).map_err(|e| e.to_string()));
+    match result {
+        Ok(()) => eprintln!("[zr-bench] wrote {}", path.display()),
+        Err(e) => eprintln!("[zr-bench] failed to write {}: {e}", path.display()),
+    }
+}
+
+/// Mean of a slice (0.0 for empty input).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_works() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+}

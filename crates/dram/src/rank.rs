@@ -1,0 +1,379 @@
+//! Sparse byte storage for one DRAM rank.
+//!
+//! Storage is per *chip-row*: chip `c`, bank `b`, row `r` holds
+//! `row_bytes / num_chips` bytes. Absent rows represent memory never
+//! written since the OS cleansed it — their stored image is the discharged
+//! pattern of the row's cell type, which reads back as logical zeros
+//! through the value-transformation inverse.
+
+use std::collections::HashMap;
+
+use zr_types::geometry::{BankId, ChipId, RowIndex};
+use zr_types::{CellType, DramConfig, Error, Geometry, Result, SystemConfig};
+
+/// One rank of DRAM devices: `num_chips` chips × `num_banks` banks of
+/// sparse rows.
+///
+/// The stored bytes are the *physical* (already transformed, chip-major)
+/// image. Whether a byte pattern means "discharged" depends on the row's
+/// cell type; [`DramRank::chip_row_is_discharged`] performs the wired-OR
+/// sense-amplifier check of §IV-B.
+#[derive(Debug, Clone)]
+pub struct DramRank {
+    geom: Geometry,
+    dram: DramConfig,
+    /// `chips[c].banks[b]` maps row index → stored bytes.
+    chips: Vec<ChipStore>,
+    /// Rows remapped by row sparing; refresh skipping is disabled on them
+    /// (§IV-B) because the spare may live in a different cell-type region.
+    spared: Vec<(BankId, RowIndex)>,
+}
+
+#[derive(Debug, Clone)]
+struct ChipStore {
+    banks: Vec<HashMap<u64, Box<[u8]>>>,
+}
+
+impl DramRank {
+    /// Builds an empty (fully cleansed) rank for `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if the configuration does not
+    /// validate.
+    pub fn new(config: &SystemConfig) -> Result<Self> {
+        let geom = Geometry::new(config)?;
+        let chips = (0..geom.num_chips())
+            .map(|_| ChipStore {
+                banks: (0..geom.num_banks()).map(|_| HashMap::new()).collect(),
+            })
+            .collect();
+        Ok(DramRank {
+            geom,
+            dram: config.dram.clone(),
+            chips,
+            spared: Vec::new(),
+        })
+    }
+
+    /// The derived geometry of this rank.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geom
+    }
+
+    /// The DRAM organization of this rank.
+    pub fn dram_config(&self) -> &DramConfig {
+        &self.dram
+    }
+
+    /// The cell type of rank-row `row` (§II-B).
+    pub fn cell_type(&self, row: RowIndex) -> CellType {
+        CellType::of_row_index(row, &self.dram)
+    }
+
+    /// Marks a row as spared: it will always be refreshed.
+    pub fn add_spared_row(&mut self, bank: BankId, row: RowIndex) {
+        if !self.spared.contains(&(bank, row)) {
+            self.spared.push((bank, row));
+        }
+    }
+
+    /// Whether a row is spared.
+    pub fn is_spared(&self, bank: BankId, row: RowIndex) -> bool {
+        self.spared.contains(&(bank, row))
+    }
+
+    /// Writes an encoded, chip-major cacheline into `slot` of
+    /// (`bank`, `row`). Segment `c` of the buffer goes to chip `c`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BadLength`] if the buffer is not one cacheline, or
+    /// [`Error::AddressOutOfRange`] if bank/row/slot are out of range.
+    pub fn write_encoded_line(
+        &mut self,
+        bank: BankId,
+        row: RowIndex,
+        slot: usize,
+        chip_major: &[u8],
+    ) -> Result<()> {
+        self.check_location(bank, row, slot)?;
+        if chip_major.len() != self.geom.line_bytes() {
+            return Err(Error::BadLength {
+                got: chip_major.len(),
+                expected: self.geom.line_bytes(),
+            });
+        }
+        let seg = self.geom.line_bytes_per_chip();
+        let chip_row_bytes = self.geom.chip_row_bytes();
+        let init = self.cell_type(row).discharged_byte();
+        for (c, segment) in chip_major.chunks_exact(seg).enumerate() {
+            let store = self.chips[c].banks[bank.0]
+                .entry(row.0)
+                .or_insert_with(|| vec![init; chip_row_bytes].into_boxed_slice());
+            store[slot * seg..(slot + 1) * seg].copy_from_slice(segment);
+        }
+        Ok(())
+    }
+
+    /// Reads the encoded, chip-major cacheline stored in `slot` of
+    /// (`bank`, `row`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::AddressOutOfRange`] if bank/row/slot are out of
+    /// range.
+    pub fn read_encoded_line(&self, bank: BankId, row: RowIndex, slot: usize) -> Result<Vec<u8>> {
+        self.check_location(bank, row, slot)?;
+        let seg = self.geom.line_bytes_per_chip();
+        let init = self.cell_type(row).discharged_byte();
+        let mut line = vec![0u8; self.geom.line_bytes()];
+        for (c, segment) in line.chunks_exact_mut(seg).enumerate() {
+            match self.chips[c].banks[bank.0].get(&row.0) {
+                Some(store) => segment.copy_from_slice(&store[slot * seg..(slot + 1) * seg]),
+                None => segment.fill(init),
+            }
+        }
+        Ok(line)
+    }
+
+    /// The wired-OR discharged check of §IV-B for one chip-row: true iff
+    /// every cell of the row is discharged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chip`, `bank` or `row` are out of range.
+    pub fn chip_row_is_discharged(&self, chip: ChipId, bank: BankId, row: RowIndex) -> bool {
+        let pattern = self.cell_type(row).discharged_byte();
+        match self.chips[chip.0].banks[bank.0].get(&row.0) {
+            Some(store) => store.iter().all(|&b| b == pattern),
+            None => true, // never written since cleansing: fully discharged
+        }
+    }
+
+    /// Restores a whole rank-row to the cleansed (all-logical-zero,
+    /// discharged) state — the §III-B deallocation-time zero-filling,
+    /// collapsed to its storage effect.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::AddressOutOfRange`] if bank/row are out of range.
+    pub fn cleanse_row(&mut self, bank: BankId, row: RowIndex) -> Result<()> {
+        self.check_location(bank, row, 0)?;
+        for chip in &mut self.chips {
+            chip.banks[bank.0].remove(&row.0);
+        }
+        Ok(())
+    }
+
+    /// Forces one chip-row fully charged regardless of cell type — a
+    /// failure-injection hook (e.g. modeling a disturbed row) used by
+    /// integrity tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::AddressOutOfRange`] if bank/row are out of range.
+    pub fn force_charge_chip_row(
+        &mut self,
+        chip: ChipId,
+        bank: BankId,
+        row: RowIndex,
+    ) -> Result<()> {
+        self.check_location(bank, row, 0)?;
+        let pattern = !self.cell_type(row).discharged_byte();
+        let bytes = vec![pattern; self.geom.chip_row_bytes()].into_boxed_slice();
+        self.chips[chip.0].banks[bank.0].insert(row.0, bytes);
+        Ok(())
+    }
+
+    /// Number of chip-rows currently holding explicit (written) storage.
+    pub fn resident_chip_rows(&self) -> usize {
+        self.chips
+            .iter()
+            .map(|c| c.banks.iter().map(HashMap::len).sum::<usize>())
+            .sum()
+    }
+
+    /// Counts discharged chip-rows across the whole rank, the quantity the
+    /// refresh experiments normalize by.
+    pub fn count_discharged_chip_rows(&self) -> u64 {
+        let rows = self.geom.rows_per_bank();
+        let mut discharged = 0u64;
+        for bank in 0..self.geom.num_banks() {
+            for chip in 0..self.geom.num_chips() {
+                let written = &self.chips[chip].banks[bank];
+                // Absent rows are discharged by construction.
+                discharged += rows - written.len() as u64;
+                for (&row, store) in written {
+                    let pattern = self.cell_type(RowIndex(row)).discharged_byte();
+                    if store.iter().all(|&b| b == pattern) {
+                        discharged += 1;
+                    }
+                }
+            }
+        }
+        discharged
+    }
+
+    fn check_location(&self, bank: BankId, row: RowIndex, slot: usize) -> Result<()> {
+        if bank.0 >= self.geom.num_banks()
+            || row.0 >= self.geom.rows_per_bank()
+            || slot >= self.geom.lines_per_row()
+        {
+            return Err(Error::AddressOutOfRange {
+                addr: row.0 * self.geom.row_bytes() as u64,
+                capacity: self.geom.capacity_bytes(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rank() -> DramRank {
+        DramRank::new(&SystemConfig::small_test()).unwrap()
+    }
+
+    #[test]
+    fn fresh_rank_is_fully_discharged() {
+        let r = rank();
+        let g = r.geometry().clone();
+        assert_eq!(
+            r.count_discharged_chip_rows(),
+            g.rows_per_bank() * g.num_banks() as u64 * g.num_chips() as u64
+        );
+        assert_eq!(r.resident_chip_rows(), 0);
+    }
+
+    #[test]
+    fn absent_rows_read_as_discharged_pattern() {
+        let r = rank();
+        // Row 0 is a true-cell row in the small config: zeros.
+        let line = r.read_encoded_line(BankId(0), RowIndex(0), 0).unwrap();
+        assert!(line.iter().all(|&b| b == 0x00));
+        // Row 16 starts an anti-cell block (16-row blocks): ones.
+        let line = r.read_encoded_line(BankId(0), RowIndex(16), 0).unwrap();
+        assert!(line.iter().all(|&b| b == 0xFF));
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut r = rank();
+        let line: Vec<u8> = (0..64).collect();
+        r.write_encoded_line(BankId(1), RowIndex(5), 3, &line)
+            .unwrap();
+        assert_eq!(
+            r.read_encoded_line(BankId(1), RowIndex(5), 3).unwrap(),
+            line
+        );
+        // Untouched slots of the same row keep the discharged pattern.
+        let other = r.read_encoded_line(BankId(1), RowIndex(5), 4).unwrap();
+        assert!(other.iter().all(|&b| b == 0x00));
+    }
+
+    #[test]
+    fn chip_major_segments_land_in_chips() {
+        let mut r = rank();
+        let mut line = vec![0u8; 64];
+        line[2 * 8..3 * 8].copy_from_slice(&[9; 8]); // segment for chip 2
+        r.write_encoded_line(BankId(0), RowIndex(1), 0, &line)
+            .unwrap();
+        assert!(r.chip_row_is_discharged(ChipId(0), BankId(0), RowIndex(1)));
+        assert!(!r.chip_row_is_discharged(ChipId(2), BankId(0), RowIndex(1)));
+    }
+
+    #[test]
+    fn discharged_check_respects_cell_type() {
+        let mut r = rank();
+        // Writing 0xFF into an anti-cell row keeps it discharged.
+        let line = vec![0xFFu8; 64];
+        r.write_encoded_line(BankId(0), RowIndex(17), 0, &line)
+            .unwrap();
+        for c in 0..8 {
+            assert!(r.chip_row_is_discharged(ChipId(c), BankId(0), RowIndex(17)));
+        }
+        // Writing 0xFF into a true-cell row charges it.
+        r.write_encoded_line(BankId(0), RowIndex(2), 0, &line)
+            .unwrap();
+        assert!(!r.chip_row_is_discharged(ChipId(0), BankId(0), RowIndex(2)));
+    }
+
+    #[test]
+    fn partial_write_in_anti_row_keeps_rest_discharged() {
+        let mut r = rank();
+        let line = vec![0xFFu8; 64];
+        // Writing the discharged pattern into one slot of an anti row must
+        // initialize the rest of the row to 0xFF, not 0x00.
+        r.write_encoded_line(BankId(0), RowIndex(16), 2, &line)
+            .unwrap();
+        assert!(r.chip_row_is_discharged(ChipId(0), BankId(0), RowIndex(16)));
+    }
+
+    #[test]
+    fn cleanse_restores_discharge() {
+        let mut r = rank();
+        let line = vec![0xA5u8; 64];
+        r.write_encoded_line(BankId(0), RowIndex(3), 0, &line)
+            .unwrap();
+        assert!(!r.chip_row_is_discharged(ChipId(0), BankId(0), RowIndex(3)));
+        r.cleanse_row(BankId(0), RowIndex(3)).unwrap();
+        assert!(r.chip_row_is_discharged(ChipId(0), BankId(0), RowIndex(3)));
+        assert_eq!(r.resident_chip_rows(), 0);
+    }
+
+    #[test]
+    fn force_charge_hook() {
+        let mut r = rank();
+        r.force_charge_chip_row(ChipId(4), BankId(1), RowIndex(20))
+            .unwrap();
+        assert!(!r.chip_row_is_discharged(ChipId(4), BankId(1), RowIndex(20)));
+        // Row 20 is anti (block 1): forced pattern is 0x00 logically.
+        let line = r.read_encoded_line(BankId(1), RowIndex(20), 0).unwrap();
+        assert_eq!(&line[4 * 8..5 * 8], &[0u8; 8]);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut r = rank();
+        let g = r.geometry().clone();
+        let line = vec![0u8; 64];
+        assert!(r
+            .write_encoded_line(BankId(g.num_banks()), RowIndex(0), 0, &line)
+            .is_err());
+        assert!(r
+            .write_encoded_line(BankId(0), RowIndex(g.rows_per_bank()), 0, &line)
+            .is_err());
+        assert!(r
+            .write_encoded_line(BankId(0), RowIndex(0), g.lines_per_row(), &line)
+            .is_err());
+        assert!(r.read_encoded_line(BankId(0), RowIndex(0), 9999).is_err());
+        assert!(r
+            .write_encoded_line(BankId(0), RowIndex(0), 0, &[0u8; 8])
+            .is_err());
+    }
+
+    #[test]
+    fn spared_rows_tracked() {
+        let mut r = rank();
+        assert!(!r.is_spared(BankId(0), RowIndex(1)));
+        r.add_spared_row(BankId(0), RowIndex(1));
+        r.add_spared_row(BankId(0), RowIndex(1));
+        assert!(r.is_spared(BankId(0), RowIndex(1)));
+    }
+
+    #[test]
+    fn count_discharged_tracks_writes() {
+        let mut r = rank();
+        let g = r.geometry().clone();
+        let total = g.rows_per_bank() * g.num_banks() as u64 * g.num_chips() as u64;
+        let line = vec![0x01u8; 64];
+        r.write_encoded_line(BankId(0), RowIndex(0), 0, &line)
+            .unwrap();
+        // Every chip got one non-discharged byte segment... all 8 chips
+        // now have a charged row 0.
+        assert_eq!(r.count_discharged_chip_rows(), total - 8);
+    }
+}

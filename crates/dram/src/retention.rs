@@ -1,0 +1,147 @@
+//! Retention-time variation and row sparing (§II-B, §II-D context).
+//!
+//! Retention-time-based refresh reduction (VRA, RAIDR, AVATAR) must fight
+//! *variable retention time*: a cell's retention can degrade at runtime,
+//! so any scheme that extends refresh intervals for charged cells risks
+//! data loss. ZERO-REFRESH is immune by construction — it only skips
+//! *discharged* rows, and leakage cannot charge a discharged cell — but
+//! two related mechanisms still need modeling:
+//!
+//! - **weak rows**: rows containing cells whose retention falls below the
+//!   standard window are remapped by row sparing at test time; §IV-B
+//!   disables refresh skipping for spared rows (the spare may live in a
+//!   different cell-type region, so the charge-domain image there is not
+//!   what the transformation assumed). [`RetentionProfile`] generates a
+//!   statistical weak-row population and applies the sparing;
+//! - **audit**: a defensive check that the discharged-status table never
+//!   promises a skip for a row that is actually charged
+//!   ([`crate::refresh::RefreshEngine::audit_hazards`]).
+
+use crate::rank::DramRank;
+use zr_types::geometry::{BankId, RowIndex};
+use zr_types::{Error, Geometry, Result};
+
+/// A statistical weak-row population.
+///
+/// RAIDR reports fewer than 1% of *cells* with short retention; at
+/// row granularity with thousands of cells per row, the affected-row
+/// fraction is implementation-dependent. The default marks 0.2% of rows
+/// weak, in line with the row-sparing budgets of commodity parts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetentionProfile {
+    weak_rows: Vec<(BankId, RowIndex)>,
+}
+
+impl RetentionProfile {
+    /// Default weak-row fraction.
+    pub const DEFAULT_WEAK_FRACTION: f64 = 0.002;
+
+    /// Samples a weak-row population for `geom` with the given fraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if `weak_fraction` is outside
+    /// `[0, 1]`.
+    pub fn generate(geom: &Geometry, weak_fraction: f64, seed: u64) -> Result<Self> {
+        if !(0.0..=1.0).contains(&weak_fraction) {
+            return Err(Error::invalid_config("weak_fraction must be in [0, 1]"));
+        }
+        let total = geom.rows_per_bank() * geom.num_banks() as u64;
+        let count = (total as f64 * weak_fraction).round() as u64;
+        let mut weak = Vec::with_capacity(count as usize);
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut seen = std::collections::HashSet::new();
+        while (weak.len() as u64) < count.min(total) {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let idx = state % total;
+            if seen.insert(idx) {
+                let bank = BankId((idx % geom.num_banks() as u64) as usize);
+                let row = RowIndex(idx / geom.num_banks() as u64);
+                weak.push((bank, row));
+            }
+        }
+        Ok(RetentionProfile { weak_rows: weak })
+    }
+
+    /// The sampled weak rows.
+    pub fn weak_rows(&self) -> &[(BankId, RowIndex)] {
+        &self.weak_rows
+    }
+
+    /// Applies row sparing for every weak row: the rank marks them spared
+    /// and the refresh engine will never skip them (§IV-B).
+    pub fn apply_sparing(&self, rank: &mut DramRank) {
+        for &(bank, row) in &self.weak_rows {
+            rank.add_spared_row(bank, row);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::refresh::{RefreshEngine, RefreshPolicy};
+    use zr_types::SystemConfig;
+
+    #[test]
+    fn generates_requested_fraction() {
+        let cfg = SystemConfig::small_test();
+        let geom = cfg.geometry();
+        let p = RetentionProfile::generate(&geom, 0.1, 7).unwrap();
+        let total = geom.rows_per_bank() * geom.num_banks() as u64;
+        assert_eq!(
+            p.weak_rows().len() as u64,
+            (total as f64 * 0.1).round() as u64
+        );
+        // Distinct rows.
+        let mut dedup: Vec<_> = p.weak_rows().to_vec();
+        dedup.sort_by_key(|(b, r)| (b.0, r.0));
+        dedup.dedup();
+        assert_eq!(dedup.len(), p.weak_rows().len());
+    }
+
+    #[test]
+    fn invalid_fraction_rejected() {
+        let geom = SystemConfig::small_test().geometry();
+        assert!(RetentionProfile::generate(&geom, -0.1, 1).is_err());
+        assert!(RetentionProfile::generate(&geom, 1.1, 1).is_err());
+    }
+
+    #[test]
+    fn spared_weak_rows_are_never_skipped() {
+        let cfg = SystemConfig::small_test();
+        let mut rank = DramRank::new(&cfg).unwrap();
+        let profile = RetentionProfile::generate(rank.geometry(), 0.05, 3).unwrap();
+        profile.apply_sparing(&mut rank);
+        let weak_count = profile.weak_rows().len() as u64;
+        let mut engine = RefreshEngine::new(&cfg, RefreshPolicy::ChargeAware).unwrap();
+        engine.run_window(&mut rank); // scan
+        let w = engine.run_window(&mut rank);
+        // Every weak rank-row keeps its chips refreshed, everything else
+        // (fully discharged) skips.
+        assert_eq!(
+            w.rows_refreshed,
+            weak_count * rank.geometry().num_chips() as u64
+        );
+    }
+
+    #[test]
+    fn zero_fraction_spares_nothing() {
+        let cfg = SystemConfig::small_test();
+        let geom = cfg.geometry();
+        let p = RetentionProfile::generate(&geom, 0.0, 9).unwrap();
+        assert!(p.weak_rows().is_empty());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let geom = SystemConfig::small_test().geometry();
+        let a = RetentionProfile::generate(&geom, 0.05, 11).unwrap();
+        let b = RetentionProfile::generate(&geom, 0.05, 11).unwrap();
+        assert_eq!(a, b);
+        let c = RetentionProfile::generate(&geom, 0.05, 12).unwrap();
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the DRAM model and refresh engine.
+
+use proptest::prelude::*;
+use zr_dram::{DramRank, RefreshEngine, RefreshGranularity, RefreshPolicy};
+use zr_types::geometry::{BankId, ChipId, RowIndex};
+use zr_types::SystemConfig;
+
+fn arb_writes() -> impl Strategy<Value = Vec<(usize, u64, usize, u8)>> {
+    // (bank, row, slot, fill byte)
+    proptest::collection::vec((0usize..2, 0u64..64, 0usize..64, any::<u8>()), 0..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn storage_round_trips_any_write_sequence(writes in arb_writes()) {
+        let cfg = SystemConfig::small_test();
+        let mut rank = DramRank::new(&cfg).unwrap();
+        let mut shadow = std::collections::HashMap::new();
+        for (bank, row, slot, fill) in writes {
+            let line = vec![fill; 64];
+            rank.write_encoded_line(BankId(bank), RowIndex(row), slot, &line).unwrap();
+            shadow.insert((bank, row, slot), line);
+        }
+        for ((bank, row, slot), line) in shadow {
+            prop_assert_eq!(
+                rank.read_encoded_line(BankId(bank), RowIndex(row), slot).unwrap(),
+                line
+            );
+        }
+    }
+
+    #[test]
+    fn window_conservation_under_any_traffic(writes in arb_writes(), windows in 1usize..4) {
+        let cfg = SystemConfig::small_test();
+        let mut rank = DramRank::new(&cfg).unwrap();
+        let mut engine = RefreshEngine::new(&cfg, RefreshPolicy::ChargeAware).unwrap();
+        let total = rank.geometry().total_chip_row_refreshes_per_window();
+        for chunk in writes.chunks(10.max(1)) {
+            for &(bank, row, slot, fill) in chunk {
+                let line = vec![fill; 64];
+                rank.write_encoded_line(BankId(bank), RowIndex(row), slot, &line).unwrap();
+                engine.note_write(&rank, BankId(bank), RowIndex(row));
+            }
+            for _ in 0..windows {
+                let w = engine.run_window(&mut rank);
+                prop_assert_eq!(w.rows_refreshed + w.rows_skipped, total);
+            }
+        }
+        // The audit must stay clean under the note_write contract.
+        prop_assert_eq!(engine.audit_hazards(&rank), 0);
+    }
+
+    #[test]
+    fn discharged_count_matches_manual_scan(writes in arb_writes()) {
+        let cfg = SystemConfig::small_test();
+        let mut rank = DramRank::new(&cfg).unwrap();
+        for (bank, row, slot, fill) in writes {
+            rank.write_encoded_line(BankId(bank), RowIndex(row), slot, &[fill; 64]).unwrap();
+        }
+        let geom = rank.geometry().clone();
+        let mut manual = 0u64;
+        for bank in 0..geom.num_banks() {
+            for row in 0..geom.rows_per_bank() {
+                for chip in 0..geom.num_chips() {
+                    if rank.chip_row_is_discharged(ChipId(chip), BankId(bank), RowIndex(row)) {
+                        manual += 1;
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(rank.count_discharged_chip_rows(), manual);
+    }
+
+    #[test]
+    fn granularities_always_agree_on_rows(writes in arb_writes()) {
+        let cfg = SystemConfig::small_test();
+        let mut rank = DramRank::new(&cfg).unwrap();
+        let mut per = RefreshEngine::new(&cfg, RefreshPolicy::ChargeAware).unwrap();
+        let mut all = RefreshEngine::with_granularity(
+            &cfg,
+            RefreshPolicy::ChargeAware,
+            RefreshGranularity::AllBank,
+        ).unwrap();
+        for (bank, row, slot, fill) in writes {
+            rank.write_encoded_line(BankId(bank), RowIndex(row), slot, &[fill; 64]).unwrap();
+            per.note_write(&rank, BankId(bank), RowIndex(row));
+            all.note_write(&rank, BankId(bank), RowIndex(row));
+        }
+        for _ in 0..2 {
+            let wp = per.run_window(&mut rank);
+            let wa = all.run_window(&mut rank);
+            prop_assert_eq!(wp.rows_refreshed, wa.rows_refreshed);
+            prop_assert_eq!(wp.rows_skipped, wa.rows_skipped);
+        }
+    }
+
+    #[test]
+    fn cleanse_always_restores_full_skipping(writes in arb_writes()) {
+        let cfg = SystemConfig::small_test();
+        let mut rank = DramRank::new(&cfg).unwrap();
+        let mut engine = RefreshEngine::new(&cfg, RefreshPolicy::ChargeAware).unwrap();
+        let mut touched = std::collections::HashSet::new();
+        for (bank, row, slot, fill) in writes {
+            rank.write_encoded_line(BankId(bank), RowIndex(row), slot, &[fill; 64]).unwrap();
+            engine.note_write(&rank, BankId(bank), RowIndex(row));
+            touched.insert((bank, row));
+        }
+        for (bank, row) in touched {
+            rank.cleanse_row(BankId(bank), RowIndex(row)).unwrap();
+            engine.note_write(&rank, BankId(bank), RowIndex(row));
+        }
+        engine.run_window(&mut rank); // rescan
+        let w = engine.run_window(&mut rank);
+        prop_assert_eq!(w.rows_refreshed, 0);
+    }
+}

@@ -1,0 +1,37 @@
+//! Energy models for the ZERO-REFRESH evaluation (§VI-B).
+//!
+//! Three models, each calibrated with the constants the paper reports:
+//!
+//! - [`power::DevicePowerModel`] — a Micron-power-calculator-style DDR4
+//!   chip power model built from the Table II IDD currents, used for the
+//!   Fig. 4 refresh-power-versus-capacity analysis;
+//! - [`sram`] — CACTI-derived SRAM leakage and area (337.14 mW for the
+//!   naive 1 MB table, 2.71 mW / 0.076 mm² for the 8 KB access-bit table);
+//! - [`accounting::EnergyAccountant`] — turns the event counts of a
+//!   simulation (rows refreshed, status-table reads/writes, EBDI
+//!   operations, elapsed windows) into the normalized refresh-energy
+//!   comparison of Fig. 15, including every ZERO-REFRESH overhead.
+//!
+//! # Examples
+//!
+//! ```
+//! use zr_energy::accounting::EnergyAccountant;
+//! use zr_types::SystemConfig;
+//!
+//! let acc = EnergyAccountant::new(&SystemConfig::paper_default())?;
+//! // Refreshing fewer rows costs proportionally less energy…
+//! let full = acc.refresh_energy(1_000_000);
+//! let half = acc.refresh_energy(500_000);
+//! assert!((half.0 * 2.0 - full.0).abs() < 1e-6);
+//! # Ok::<(), zr_types::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod accounting;
+pub mod power;
+pub mod sram;
+
+pub use accounting::{EnergyAccountant, EnergyBreakdown};
+pub use power::DevicePowerModel;

@@ -1,0 +1,84 @@
+//! CACTI-derived SRAM cost constants (§IV-B, §VI-B).
+//!
+//! The paper evaluates two SRAM structures with CACTI 6.5 at 32 nm:
+//! the naive 1 MB per-row table (337.14 mW leakage) and the proposed 8 KB
+//! access-bit table (2.71 mW leakage, 0.076 mm² area). Both anchor points
+//! give nearly the same per-kilobyte leakage (~0.33 mW/KB), so the model
+//! interpolates linearly for other table sizes.
+
+use zr_types::units::Milliwatts;
+
+/// Leakage of the naive 1 MB SRAM table reported by CACTI 6.5 (§IV-B).
+pub const NAIVE_1MB_LEAKAGE: Milliwatts = Milliwatts(337.14);
+
+/// Leakage of the 8 KB access-bit SRAM table reported by CACTI 6.5
+/// (§IV-B).
+pub const ACCESS_8KB_LEAKAGE: Milliwatts = Milliwatts(2.71);
+
+/// Area of the 8 KB access-bit SRAM in mm² (§IV-B).
+pub const ACCESS_8KB_AREA_MM2: f64 = 0.076;
+
+/// Per-kilobyte leakage interpolated from the paper's 8 KB anchor point.
+pub const LEAKAGE_MW_PER_KB: f64 = 2.71 / 8.0;
+
+/// Leakage power of an SRAM array of `bytes` bytes, interpolated linearly
+/// from the paper's CACTI anchor points.
+///
+/// # Examples
+///
+/// ```
+/// use zr_energy::sram::leakage;
+/// // The paper's two design points are reproduced (within the rounding
+/// // of the published numbers).
+/// assert!((leakage(8 * 1024).0 - 2.71).abs() < 1e-9);
+/// let naive = leakage(1024 * 1024);
+/// assert!((naive.0 - 337.14).abs() / 337.14 < 0.05);
+/// ```
+pub fn leakage(bytes: u64) -> Milliwatts {
+    Milliwatts(LEAKAGE_MW_PER_KB * bytes as f64 / 1024.0)
+}
+
+/// Area in mm² of an SRAM array of `bytes` bytes, scaled from the 8 KB
+/// anchor point.
+///
+/// # Examples
+///
+/// ```
+/// use zr_energy::sram::area_mm2;
+/// assert!((area_mm2(8 * 1024) - 0.076).abs() < 1e-12);
+/// ```
+pub fn area_mm2(bytes: u64) -> f64 {
+    ACCESS_8KB_AREA_MM2 * bytes as f64 / (8.0 * 1024.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchor_points_close() {
+        assert!((leakage(8 << 10).0 - ACCESS_8KB_LEAKAGE.0).abs() < 1e-9);
+        // The 1 MB anchor differs by < 3% from the linear model.
+        let rel = (leakage(1 << 20).0 - NAIVE_1MB_LEAKAGE.0).abs() / NAIVE_1MB_LEAKAGE.0;
+        assert!(rel < 0.05, "relative error {rel}");
+    }
+
+    #[test]
+    fn leakage_is_linear() {
+        assert!((leakage(16 << 10).0 - 2.0 * leakage(8 << 10).0).abs() < 1e-9);
+        assert_eq!(leakage(0).0, 0.0);
+    }
+
+    #[test]
+    fn savings_ratio_matches_paper() {
+        // "The static power reduces from 337.14 mW … to 2.71 mW" — a
+        // ~124x reduction.
+        let ratio = NAIVE_1MB_LEAKAGE.0 / ACCESS_8KB_LEAKAGE.0;
+        assert!(ratio > 100.0 && ratio < 150.0);
+    }
+
+    #[test]
+    fn area_scales() {
+        assert!((area_mm2(16 << 10) - 0.152).abs() < 1e-9);
+    }
+}

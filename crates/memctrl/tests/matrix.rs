@@ -1,0 +1,128 @@
+//! Configuration-matrix tests for the memory controller: every refresh
+//! policy × row size × temperature must preserve data and keep the
+//! refresh accounting conserved.
+
+use zr_dram::RefreshPolicy;
+use zr_memctrl::MemoryController;
+use zr_types::geometry::LineAddr;
+use zr_types::{SystemConfig, TemperatureMode};
+
+fn config(row_bytes: usize, temperature: TemperatureMode) -> SystemConfig {
+    let mut cfg = SystemConfig::small_test();
+    cfg.dram.row_bytes = row_bytes;
+    cfg.timing.temperature = temperature;
+    cfg
+}
+
+fn content(seed: u64, i: u64) -> [u8; 64] {
+    let mut line = [0u8; 64];
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ i;
+    for b in line.iter_mut() {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *b = (s >> 56) as u8;
+    }
+    line
+}
+
+#[test]
+fn policy_row_temperature_matrix_round_trips() {
+    for policy in [
+        RefreshPolicy::Conventional,
+        RefreshPolicy::ChargeAware,
+        RefreshPolicy::NaiveSram,
+    ] {
+        for row_bytes in [2048usize, 4096, 8192] {
+            for temp in [TemperatureMode::Normal, TemperatureMode::Extended] {
+                let cfg = config(row_bytes, temp);
+                let mut mc = MemoryController::new(&cfg, policy).unwrap();
+                let total = mc.geometry().total_lines();
+                let addrs: Vec<u64> = (0..100).map(|i| i * 37 % total).collect();
+                for &a in &addrs {
+                    mc.write_line(LineAddr(a), &content(a, 1)).unwrap();
+                }
+                mc.run_refresh_window();
+                mc.run_refresh_window();
+                for &a in &addrs {
+                    assert_eq!(
+                        mc.read_line(LineAddr(a)).unwrap(),
+                        content(a, 1).to_vec(),
+                        "{policy:?} {row_bytes}B {temp:?} line {a}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn conservation_holds_in_every_configuration() {
+    for policy in [RefreshPolicy::Conventional, RefreshPolicy::ChargeAware] {
+        for row_bytes in [2048usize, 4096, 8192] {
+            let cfg = config(row_bytes, TemperatureMode::Extended);
+            let mut mc = MemoryController::new(&cfg, policy).unwrap();
+            let total = mc.geometry().total_chip_row_refreshes_per_window();
+            mc.write_line(LineAddr(3), &content(3, 2)).unwrap();
+            for _ in 0..3 {
+                let w = mc.run_refresh_window();
+                assert_eq!(
+                    w.rows_refreshed + w.rows_skipped,
+                    total,
+                    "{policy:?} {row_bytes}B"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn overwrite_with_different_content_is_visible_immediately() {
+    let cfg = config(4096, TemperatureMode::Extended);
+    let mut mc = MemoryController::new(&cfg, RefreshPolicy::ChargeAware).unwrap();
+    for gen in 0..5u64 {
+        mc.write_line(LineAddr(11), &content(11, gen)).unwrap();
+        assert_eq!(
+            mc.read_line(LineAddr(11)).unwrap(),
+            content(11, gen).to_vec()
+        );
+    }
+}
+
+#[test]
+fn interleaved_reads_and_writes_with_refresh() {
+    let cfg = config(4096, TemperatureMode::Extended);
+    let mut mc = MemoryController::new(&cfg, RefreshPolicy::ChargeAware).unwrap();
+    let total = mc.geometry().total_lines();
+    let mut expected = std::collections::HashMap::new();
+    let mut s = 0xABCDu64;
+    for step in 0..300u64 {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let addr = s % total;
+        if s & 4 == 0 {
+            let line = content(addr, step);
+            mc.write_line(LineAddr(addr), &line).unwrap();
+            expected.insert(addr, line);
+        } else if let Some(line) = expected.get(&addr) {
+            assert_eq!(mc.read_line(LineAddr(addr)).unwrap(), line.to_vec());
+        }
+        if step % 50 == 49 {
+            mc.run_refresh_window();
+        }
+    }
+}
+
+#[test]
+fn stats_count_exactly_the_operations_performed() {
+    let cfg = config(4096, TemperatureMode::Extended);
+    let mut mc = MemoryController::new(&cfg, RefreshPolicy::ChargeAware).unwrap();
+    for a in 0..7u64 {
+        mc.write_line(LineAddr(a), &content(a, 0)).unwrap();
+    }
+    for a in 0..3u64 {
+        mc.read_line(LineAddr(a)).unwrap();
+    }
+    assert_eq!(mc.stats().writes, 7);
+    assert_eq!(mc.stats().reads, 3);
+    assert_eq!(mc.stats().ebdi_operations(), 10);
+}

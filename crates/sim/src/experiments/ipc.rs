@@ -1,0 +1,79 @@
+//! IPC experiment (Fig. 17): normalized IPC per benchmark, from the
+//! measured refresh reduction fed through the analytic timing model.
+
+use zr_types::Result;
+use zr_workloads::Benchmark;
+
+use super::refresh;
+use super::ExperimentConfig;
+use crate::timing::IpcModel;
+
+/// The estimated IPC gain of one benchmark.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct IpcMeasurement {
+    /// Benchmark name.
+    pub benchmark: &'static str,
+    /// Normalized refresh operations the gain derives from.
+    pub normalized_refreshes: f64,
+    /// IPC normalized to the conventional baseline (> 1.0 is a speedup)
+    /// — the Fig. 17 y-axis.
+    pub normalized_ipc: f64,
+}
+
+/// Measures one benchmark's normalized IPC at 100% allocation.
+///
+/// # Errors
+///
+/// Returns configuration/address errors from the underlying layers.
+pub fn measure(benchmark: Benchmark, exp: &ExperimentConfig) -> Result<IpcMeasurement> {
+    let m = refresh::measure(benchmark, 1.0, exp)?;
+    let model = IpcModel::paper_default();
+    Ok(IpcMeasurement {
+        benchmark: benchmark.name(),
+        normalized_refreshes: m.normalized,
+        normalized_ipc: model.normalized_ipc(&benchmark.profile(), m.normalized),
+    })
+}
+
+/// The full Fig. 17 sweep across the suite.
+///
+/// # Errors
+///
+/// Returns configuration/address errors from the underlying layers.
+pub fn suite_sweep(exp: &ExperimentConfig) -> Result<Vec<IpcMeasurement>> {
+    Benchmark::all().iter().map(|&b| measure(b, exp)).collect()
+}
+
+/// Mean normalized IPC of a sweep.
+pub fn mean_ipc(measurements: &[IpcMeasurement]) -> f64 {
+    if measurements.is_empty() {
+        return 1.0;
+    }
+    measurements.iter().map(|m| m.normalized_ipc).sum::<f64>() / measurements.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_gains_are_positive_and_bounded() {
+        let exp = ExperimentConfig::tiny_test();
+        let m = measure(Benchmark::Mcf, &exp).unwrap();
+        assert!(m.normalized_ipc >= 1.0);
+        assert!(m.normalized_ipc < 1.2, "gain {}", m.normalized_ipc);
+    }
+
+    #[test]
+    fn memory_bound_friendly_workload_gains_more() {
+        let exp = ExperimentConfig::tiny_test();
+        let gems = measure(Benchmark::GemsFdtd, &exp).unwrap();
+        let gobmk = measure(Benchmark::Gobmk, &exp).unwrap();
+        assert!(
+            gems.normalized_ipc > gobmk.normalized_ipc,
+            "gems {} vs gobmk {}",
+            gems.normalized_ipc,
+            gobmk.normalized_ipc
+        );
+    }
+}

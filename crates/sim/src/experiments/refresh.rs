@@ -1,0 +1,232 @@
+//! Refresh-reduction experiments: Fig. 14 (allocation scenarios),
+//! Fig. 16 (temperature) and Fig. 18 (row size).
+
+use zr_dram::{RefreshPolicy, WindowStats};
+use zr_types::geometry::LineAddr;
+use zr_types::{Result, TemperatureMode};
+use zr_workloads::image::LINES_PER_REGION;
+use zr_workloads::trace::TraceGenerator;
+use zr_workloads::Benchmark;
+
+use super::population::build_system;
+use super::ExperimentConfig;
+
+/// The measured refresh behaviour of one benchmark/scenario pair.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct RefreshMeasurement {
+    /// Benchmark name.
+    pub benchmark: &'static str,
+    /// Allocated memory fraction of the scenario.
+    pub alloc_fraction: f64,
+    /// Refresh operations normalized to the conventional baseline
+    /// (lower is better; the Fig. 14 y-axis).
+    pub normalized: f64,
+    /// Raw accumulated window statistics over the measured windows.
+    pub stats: WindowStats,
+}
+
+/// Measures the normalized refresh operations for one benchmark at one
+/// allocation fraction, over `exp.windows` retention windows of
+/// steady-state write traffic (after one unmeasured scan window).
+///
+/// # Errors
+///
+/// Returns configuration/address errors from the underlying layers.
+pub fn measure(
+    benchmark: Benchmark,
+    alloc_fraction: f64,
+    exp: &ExperimentConfig,
+) -> Result<RefreshMeasurement> {
+    measure_with_policy(benchmark, alloc_fraction, RefreshPolicy::ChargeAware, exp)
+}
+
+/// [`measure`] with an explicit refresh policy (ablations use the naive
+/// tracker or a transformation-disabled system via `exp.system_config()`).
+///
+/// # Errors
+///
+/// Returns configuration/address errors from the underlying layers.
+pub fn measure_with_policy(
+    benchmark: Benchmark,
+    alloc_fraction: f64,
+    policy: RefreshPolicy,
+    exp: &ExperimentConfig,
+) -> Result<RefreshMeasurement> {
+    let mut ps = build_system(benchmark, alloc_fraction, policy, exp)?;
+    let profile = benchmark.profile();
+    let mut trace = TraceGenerator::new(
+        profile,
+        ps.region_classes.clone(),
+        LINES_PER_REGION,
+        benchmark.derive_seed(exp.seed) ^ 0xACCE55,
+    );
+    // Scan window: populates the discharged-status table (unmeasured, as
+    // the paper measures steady state).
+    ps.system.run_refresh_window();
+    let mut stats = WindowStats::default();
+    for _ in 0..exp.windows {
+        for w in trace.window_writes(exp.window_scale()) {
+            let line = LineAddr(w.page * LINES_PER_REGION as u64 + w.line_in_page as u64);
+            ps.system.write_line(line, &w.data)?;
+        }
+        stats.accumulate(&ps.system.run_refresh_window());
+    }
+    Ok(RefreshMeasurement {
+        benchmark: benchmark.name(),
+        alloc_fraction,
+        normalized: stats.normalized_refreshes(),
+        stats,
+    })
+}
+
+/// The Fig. 14 sweep: every benchmark × the four allocation scenarios
+/// (100%, 88% Alibaba, 70% Google, 28% Bitbrains).
+///
+/// # Errors
+///
+/// Returns configuration/address errors from the underlying layers.
+pub fn allocation_sweep(exp: &ExperimentConfig) -> Result<Vec<RefreshMeasurement>> {
+    let mut out = Vec::new();
+    for &alloc in &[1.0, 0.88, 0.70, 0.28] {
+        for &b in Benchmark::all() {
+            out.push(measure(b, alloc, exp)?);
+        }
+    }
+    Ok(out)
+}
+
+/// The Fig. 16 comparison: normalized refreshes at extended (32 ms) vs
+/// normal (64 ms) temperature, 100% allocated.
+///
+/// # Errors
+///
+/// Returns configuration/address errors from the underlying layers.
+pub fn temperature_compare(
+    benchmark: Benchmark,
+    exp: &ExperimentConfig,
+) -> Result<(RefreshMeasurement, RefreshMeasurement)> {
+    let extended = measure(
+        benchmark,
+        1.0,
+        &ExperimentConfig {
+            temperature: TemperatureMode::Extended,
+            ..exp.clone()
+        },
+    )?;
+    let normal = measure(
+        benchmark,
+        1.0,
+        &ExperimentConfig {
+            temperature: TemperatureMode::Normal,
+            ..exp.clone()
+        },
+    )?;
+    Ok((extended, normal))
+}
+
+/// The Fig. 18 sweep: normalized refreshes with 2 KB / 4 KB / 8 KB rows,
+/// 100% allocated.
+///
+/// # Errors
+///
+/// Returns configuration/address errors from the underlying layers.
+pub fn row_size_sweep(
+    benchmark: Benchmark,
+    exp: &ExperimentConfig,
+) -> Result<Vec<(usize, RefreshMeasurement)>> {
+    [2048usize, 4096, 8192]
+        .iter()
+        .map(|&row_bytes| {
+            let m = measure(
+                benchmark,
+                1.0,
+                &ExperimentConfig {
+                    row_bytes,
+                    ..exp.clone()
+                },
+            )?;
+            Ok((row_bytes, m))
+        })
+        .collect()
+}
+
+/// Mean normalized refreshes over a set of measurements.
+pub fn mean_normalized(measurements: &[RefreshMeasurement]) -> f64 {
+    if measurements.is_empty() {
+        return 1.0;
+    }
+    measurements.iter().map(|m| m.normalized).sum::<f64>() / measurements.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fully_idle_memory_skips_everything() {
+        let exp = ExperimentConfig::tiny_test();
+        let m = measure(Benchmark::Gcc, 0.0, &exp).unwrap();
+        assert!(m.normalized < 0.01, "normalized {}", m.normalized);
+    }
+
+    #[test]
+    fn reduction_grows_with_idle_fraction() {
+        let exp = ExperimentConfig::tiny_test();
+        let full = measure(Benchmark::Gcc, 1.0, &exp).unwrap();
+        let half = measure(Benchmark::Gcc, 0.5, &exp).unwrap();
+        assert!(
+            half.normalized < full.normalized,
+            "half {} vs full {}",
+            half.normalized,
+            full.normalized
+        );
+    }
+
+    #[test]
+    fn friendly_beats_hostile_content() {
+        let exp = ExperimentConfig::tiny_test();
+        let gems = measure(Benchmark::GemsFdtd, 1.0, &exp).unwrap();
+        let sp = measure(Benchmark::SpC, 1.0, &exp).unwrap();
+        assert!(
+            gems.normalized + 0.2 < sp.normalized,
+            "gems {} vs sp.C {}",
+            gems.normalized,
+            sp.normalized
+        );
+    }
+
+    #[test]
+    fn conventional_policy_never_skips() {
+        let exp = ExperimentConfig::tiny_test();
+        let m =
+            measure_with_policy(Benchmark::Gcc, 0.5, RefreshPolicy::Conventional, &exp).unwrap();
+        assert_eq!(m.normalized, 1.0);
+    }
+
+    #[test]
+    fn row_size_ordering() {
+        let exp = ExperimentConfig::tiny_test();
+        let sweep = row_size_sweep(Benchmark::Gcc, &exp).unwrap();
+        assert_eq!(sweep.len(), 3);
+        // Smaller rows harvest more short friendly runs (Fig. 18).
+        assert!(
+            sweep[0].1.normalized < sweep[2].1.normalized,
+            "2K {} vs 8K {}",
+            sweep[0].1.normalized,
+            sweep[2].1.normalized
+        );
+    }
+
+    #[test]
+    fn normal_temperature_loses_a_little() {
+        let exp = ExperimentConfig::tiny_test();
+        let (ext, norm) = temperature_compare(Benchmark::Lbm, &exp).unwrap();
+        // Twice the writes per (64 ms) window can only hurt.
+        assert!(
+            norm.normalized >= ext.normalized - 1e-9,
+            "normal {} vs extended {}",
+            norm.normalized,
+            ext.normalized
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! Zero-value statistics (Fig. 6): the fraction of zeros at 1 KB and
+//! 1-byte granularity in touched memory, per benchmark.
+//!
+//! This is a pure content analysis over the benchmark image — no DRAM is
+//! involved — matching the paper's memory-dump methodology ("only from
+//! the memory pages accessed at least once").
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use zr_types::Result;
+use zr_workloads::content::{zero_block_fraction, zero_byte_fraction};
+use zr_workloads::image::{region_classes, region_lines};
+use zr_workloads::Benchmark;
+
+use super::ExperimentConfig;
+
+/// Zero statistics of one benchmark image.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct ZeroMeasurement {
+    /// Benchmark name.
+    pub benchmark: &'static str,
+    /// Fraction of fully-zero 1 KB blocks.
+    pub kb_block_fraction: f64,
+    /// Fraction of zero bytes.
+    pub byte_fraction: f64,
+}
+
+/// Measures the Fig. 6 statistics for one benchmark over a sampled image.
+///
+/// # Errors
+///
+/// Currently infallible for valid benchmarks; returns a [`zr_types::Error`]
+/// for forward compatibility with image-backed sources.
+pub fn measure(benchmark: Benchmark, exp: &ExperimentConfig) -> Result<ZeroMeasurement> {
+    let profile = benchmark.profile();
+    // Sample a fixed 32 MB of touched content; rare classes (zero pages
+    // at ~2%) need a decent sample to converge.
+    let n_regions = 16 * 1024;
+    let seed = benchmark.derive_seed(exp.seed);
+    let classes = region_classes(&profile, n_regions, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x2E05);
+    let mut image = Vec::with_capacity(n_regions as usize * 2048);
+    for class in classes {
+        for line in region_lines(class, &mut rng) {
+            image.extend_from_slice(&line);
+        }
+    }
+    Ok(ZeroMeasurement {
+        benchmark: benchmark.name(),
+        kb_block_fraction: zero_block_fraction(&image, 1024),
+        byte_fraction: zero_byte_fraction(&image),
+    })
+}
+
+/// The full Fig. 6 sweep across the suite.
+///
+/// # Errors
+///
+/// See [`measure`].
+pub fn suite_sweep(exp: &ExperimentConfig) -> Result<Vec<ZeroMeasurement>> {
+    Benchmark::all().iter().map(|&b| measure(b, exp)).collect()
+}
+
+/// Suite means `(kb_block_fraction, byte_fraction)`.
+pub fn means(measurements: &[ZeroMeasurement]) -> (f64, f64) {
+    if measurements.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = measurements.len() as f64;
+    (
+        measurements
+            .iter()
+            .map(|m| m.kb_block_fraction)
+            .sum::<f64>()
+            / n,
+        measurements.iter().map(|m| m.byte_fraction).sum::<f64>() / n,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_zeros_dwarf_block_zeros() {
+        // The Fig. 6 asymmetry: plenty of zero bytes (≈43% mean), almost
+        // no fully-zero 1 KB blocks (≈2.3% mean).
+        let exp = ExperimentConfig::tiny_test();
+        let m = measure(Benchmark::Gcc, &exp).unwrap();
+        assert!(m.byte_fraction > 5.0 * m.kb_block_fraction);
+    }
+
+    #[test]
+    fn suite_means_match_fig6_shape() {
+        let exp = ExperimentConfig::tiny_test();
+        let sweep = suite_sweep(&exp).unwrap();
+        let (kb, byte) = means(&sweep);
+        assert!((0.01..0.06).contains(&kb), "1KB-zero mean {kb}");
+        assert!((0.30..0.55).contains(&byte), "byte-zero mean {byte}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let exp = ExperimentConfig::tiny_test();
+        assert_eq!(
+            measure(Benchmark::Milc, &exp).unwrap(),
+            measure(Benchmark::Milc, &exp).unwrap()
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Timing/IPC model and experiment drivers reproducing the ZERO-REFRESH
+//! evaluation (§VI).
+//!
+//! This crate is the "evaluation methodology" layer: it populates memory
+//! systems with benchmark images from `zr-workloads`, drives refresh
+//! windows with write traffic, and packages the results exactly along the
+//! axes of the paper's tables and figures:
+//!
+//! - [`experiments::zeros`] — zero-value statistics (Fig. 6);
+//! - [`experiments::refresh`] — normalized refresh operations across
+//!   allocation scenarios (Fig. 14), temperatures (Fig. 16) and row sizes
+//!   (Fig. 18);
+//! - [`experiments::energy`] — normalized refresh energy with all
+//!   ZERO-REFRESH overheads (Fig. 15);
+//! - [`experiments::ipc`] + [`timing`] — the normalized-IPC estimate
+//!   (Fig. 17);
+//! - [`experiments::scalability`] — the Smart Refresh capacity comparison
+//!   (Fig. 19);
+//! - [`experiments::datacenter`] — the trace-driven scenarios (Table I,
+//!   Fig. 5).
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use zr_sim::experiments::{refresh, ExperimentConfig};
+//! use zr_workloads::Benchmark;
+//!
+//! let cfg = ExperimentConfig::default();
+//! let result = refresh::measure(Benchmark::GemsFdtd, 1.0, &cfg)?;
+//! println!("gemsFDTD normalized refreshes: {:.3}", result.normalized);
+//! # Ok::<(), zr_types::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+pub mod timing;
+
+pub use experiments::ExperimentConfig;
+pub use timing::IpcModel;

@@ -1,0 +1,60 @@
+//! Event-driven DRAM bank-timing simulator.
+//!
+//! This crate plays the role DRAMSim2 plays in the paper's evaluation
+//! stack: it models *when* things happen — row activations, column
+//! accesses, precharges, and the auto-refresh windows during which a bank
+//! cannot serve requests — where `zr-dram` models *what* is stored. The
+//! two connect through a [`RefreshDurations`] profile: the functional
+//! refresh engine reports how much of each auto-refresh command
+//! ZERO-REFRESH actually performs, and this simulator turns that into
+//! shorter bank-busy windows, shorter queueing delays, and ultimately the
+//! IPC effect of Fig. 17.
+//!
+//! Modeled (per bank, FCFS):
+//!
+//! - row-buffer state: open-row hits vs misses (tRCD/tRP/CL/tBURST),
+//! - per-bank auto-refresh every tREFI with configurable busy durations,
+//!   closing the open row (the "row buffer miss after refresh" penalty
+//!   §III-A mentions),
+//! - rank-level activation constraints (tRRD, tFAW).
+//!
+//! Not modeled: command-bus contention, write-to-read turnarounds and
+//! reordering (the controller is FCFS) — second-order effects for the
+//! refresh-blocking question this substrate answers.
+//!
+//! # Examples
+//!
+//! ```
+//! use zr_timing::{MemoryTimingSim, RefreshDurations, RequestGenerator};
+//! use zr_types::SystemConfig;
+//!
+//! let config = SystemConfig::paper_default();
+//! let requests = RequestGenerator::new(&config, 42)
+//!     .arrival_interval_ns(20.0)
+//!     .generate(2_000)?;
+//!
+//! // Conventional refresh vs ZERO-REFRESH skipping 40% of rows:
+//! let mut conv = MemoryTimingSim::new(&config, RefreshDurations::Conventional)?;
+//! let mut zr = MemoryTimingSim::new(
+//!     &config,
+//!     RefreshDurations::Uniform { refreshed_fraction: 0.6 },
+//! )?;
+//! let a = conv.process(&requests)?;
+//! let b = zr.process(&requests)?;
+//! assert!(b.mean_latency_ns() <= a.mean_latency_ns());
+//! # Ok::<(), zr_types::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bank;
+pub mod params;
+pub mod requests;
+pub mod sim;
+pub mod stats;
+
+pub use params::DerivedTiming;
+pub use requests::{MemoryRequest, RequestGenerator};
+pub use sim::{MemoryTimingSim, RefreshDurations};
+pub use stats::TimingStats;

@@ -1,0 +1,127 @@
+//! Derived timing constants.
+//!
+//! Table II gives tRAS/tRCD/tRRD/tFAW/tRFC; the remaining DDR4-2400
+//! constants (CAS latency, precharge, burst time) use standard JEDEC
+//! values and are recorded here explicitly.
+
+use zr_types::units::Nanoseconds;
+use zr_types::{Result, SystemConfig, TimingParams};
+
+/// CAS latency assumed for DDR4-2400 (CL16 at 0.833 ns clock).
+pub const CL_NS: f64 = 13.32;
+
+/// Row-precharge time; Table II omits tRP, we mirror tRCD as is common.
+pub fn t_rp_ns(timing: &TimingParams) -> f64 {
+    timing.t_rcd_ns
+}
+
+/// Data burst duration: 8 beats at 2400 MT/s.
+pub const T_BURST_NS: f64 = 3.33;
+
+/// Bank-busy time of an auto-refresh command that skips *every* row:
+/// the batched discharged-status table read (§IV-B).
+pub const T_AR_SKIP_OVERHEAD_NS: f64 = 5.0;
+
+/// All timing constants the simulator consumes, pre-derived.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DerivedTiming {
+    /// Row-activate to column-access delay.
+    pub t_rcd_ns: f64,
+    /// Row-precharge time.
+    pub t_rp_ns: f64,
+    /// Minimum row-active time.
+    pub t_ras_ns: f64,
+    /// Activate-to-activate delay (different banks).
+    pub t_rrd_ns: f64,
+    /// Four-activation window.
+    pub t_faw_ns: f64,
+    /// CAS latency.
+    pub cl_ns: f64,
+    /// Data burst duration.
+    pub t_burst_ns: f64,
+    /// Full auto-refresh busy time per command.
+    pub t_rfc_ns: f64,
+    /// Residual busy time of a fully skipped auto-refresh.
+    pub t_ar_skip_ns: f64,
+    /// Per-bank auto-refresh command interval.
+    pub t_refi_ns: f64,
+    /// Retention window.
+    pub t_ret_ns: f64,
+}
+
+impl DerivedTiming {
+    /// Derives the constants from a system configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`zr_types::Error::InvalidConfig`] if the configuration
+    /// does not validate.
+    pub fn new(config: &SystemConfig) -> Result<Self> {
+        config.validate()?;
+        let t = &config.timing;
+        Ok(DerivedTiming {
+            t_rcd_ns: t.t_rcd_ns,
+            t_rp_ns: t_rp_ns(t),
+            t_ras_ns: t.t_ras_ns,
+            t_rrd_ns: t.t_rrd_ns,
+            t_faw_ns: t.t_faw_ns,
+            cl_ns: CL_NS,
+            t_burst_ns: T_BURST_NS,
+            t_rfc_ns: t.t_rfc_ns,
+            t_ar_skip_ns: T_AR_SKIP_OVERHEAD_NS.min(t.t_rfc_ns),
+            t_refi_ns: t.t_refi().0,
+            t_ret_ns: t.t_ret().0,
+        })
+    }
+
+    /// Service time of a row-buffer hit (column access + burst).
+    pub fn hit_service_ns(&self) -> f64 {
+        self.cl_ns + self.t_burst_ns
+    }
+
+    /// Service time of an access to a closed bank (activate + column +
+    /// burst).
+    pub fn closed_service_ns(&self) -> f64 {
+        self.t_rcd_ns + self.cl_ns + self.t_burst_ns
+    }
+
+    /// Service time of a row conflict (precharge + activate + column +
+    /// burst).
+    pub fn conflict_service_ns(&self) -> f64 {
+        self.t_rp_ns + self.closed_service_ns()
+    }
+
+    /// Retention window as a typed duration.
+    pub fn t_ret(&self) -> Nanoseconds {
+        Nanoseconds(self.t_ret_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derives_from_paper_defaults() {
+        let d = DerivedTiming::new(&SystemConfig::paper_default()).unwrap();
+        assert_eq!(d.t_rcd_ns, 11.0);
+        assert_eq!(d.t_rfc_ns, 28.0);
+        // Extended temperature: tREFI = 32 ms / 8192.
+        assert!((d.t_refi_ns - 3906.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn service_times_are_ordered() {
+        let d = DerivedTiming::new(&SystemConfig::paper_default()).unwrap();
+        assert!(d.hit_service_ns() < d.closed_service_ns());
+        assert!(d.closed_service_ns() < d.conflict_service_ns());
+    }
+
+    #[test]
+    fn skip_overhead_never_exceeds_full_refresh() {
+        let mut cfg = SystemConfig::paper_default();
+        cfg.timing.t_rfc_ns = 2.0; // pathologically small
+        let d = DerivedTiming::new(&cfg).unwrap();
+        assert!(d.t_ar_skip_ns <= d.t_rfc_ns);
+    }
+}

@@ -1,0 +1,98 @@
+//! Aggregated timing statistics and the IPC estimate derived from them.
+
+/// Statistics of one simulated request stream.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TimingStats {
+    /// Requests served.
+    pub requests: u64,
+    /// Row-buffer hits.
+    pub row_hits: u64,
+    /// Accesses to precharged banks.
+    pub row_closed: u64,
+    /// Row conflicts (precharge + activate).
+    pub row_conflicts: u64,
+    /// Requests that waited for an in-progress refresh.
+    pub refresh_stalled: u64,
+    /// Total nanoseconds spent waiting on refresh windows.
+    pub refresh_wait_ns: f64,
+    /// Sum of request latencies (arrival → data) in nanoseconds.
+    pub total_latency_ns: f64,
+    /// Additional serialization waits for rank-level tRRD/tFAW.
+    pub rank_wait_ns: f64,
+}
+
+impl TimingStats {
+    /// Mean request latency in nanoseconds.
+    pub fn mean_latency_ns(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.total_latency_ns / self.requests as f64
+        }
+    }
+
+    /// Row-buffer hit rate.
+    pub fn hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / self.requests as f64
+        }
+    }
+
+    /// Mean refresh-induced wait per request in nanoseconds.
+    pub fn mean_refresh_wait_ns(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.refresh_wait_ns / self.requests as f64
+        }
+    }
+
+    /// First-order IPC estimate for a core issuing this stream:
+    /// `IPC = 1 / (base_cpi + mpki/1000 · latency_cycles / mlp)`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let stats = zr_timing::TimingStats {
+    ///     requests: 100,
+    ///     total_latency_ns: 5000.0, // 50 ns mean
+    ///     ..Default::default()
+    /// };
+    /// let ipc = stats.ipc_estimate(0.6, 10.0, 4.0, 4.0);
+    /// assert!(ipc > 0.0 && ipc < 2.0);
+    /// ```
+    pub fn ipc_estimate(&self, base_cpi: f64, mpki: f64, mlp: f64, freq_ghz: f64) -> f64 {
+        let latency_cycles = self.mean_latency_ns() * freq_ghz;
+        1.0 / (base_cpi + mpki / 1000.0 * latency_cycles / mlp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means_handle_empty() {
+        let s = TimingStats::default();
+        assert_eq!(s.mean_latency_ns(), 0.0);
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.mean_refresh_wait_ns(), 0.0);
+    }
+
+    #[test]
+    fn ipc_decreases_with_latency() {
+        let fast = TimingStats {
+            requests: 10,
+            total_latency_ns: 300.0,
+            ..Default::default()
+        };
+        let slow = TimingStats {
+            requests: 10,
+            total_latency_ns: 900.0,
+            ..Default::default()
+        };
+        assert!(fast.ipc_estimate(0.6, 20.0, 5.0, 4.0) > slow.ipc_estimate(0.6, 20.0, 5.0, 4.0));
+    }
+}

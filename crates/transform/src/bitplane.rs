@@ -1,0 +1,237 @@
+//! The bit-plane transposition stage (§V-C, Fig. 12).
+//!
+//! After EBDI each delta word has long runs of zero *high-order* bits, but
+//! the non-zero low-order bits are scattered one-per-word across the line.
+//! Transposing the delta words as a bit matrix regroups bit position `b` of
+//! every delta into one contiguous *bit plane*. Packing planes from the
+//! most significant down means the all-zero high planes coalesce at the
+//! front of the delta region and every non-zero bit concentrates in the
+//! trailing *delta word* — exactly the layout the rotation stage then
+//! spreads over chips.
+//!
+//! The stage is a pure bit permutation: no logic, only wire routing in
+//! hardware, and losslessly invertible here.
+
+use zr_types::{CachelineConfig, Error, Result};
+
+/// Transposes the delta region (words `1..`) of an EBDI-encoded line in
+/// place, packing bit planes MSB-first.
+///
+/// The base word (word 0) is left untouched.
+///
+/// # Errors
+///
+/// Returns [`Error::BadLength`] if `line` does not match the configured
+/// cacheline size.
+///
+/// # Examples
+///
+/// ```
+/// use zr_transform::{bitplane, ebdi};
+/// use zr_types::CachelineConfig;
+///
+/// let cfg = CachelineConfig::paper_default();
+/// let mut line = [0u8; 64];
+/// // Consecutive small values: EBDI leaves small deltas…
+/// for (i, w) in line.chunks_exact_mut(8).enumerate() {
+///     w.copy_from_slice(&(500u64 + i as u64).to_le_bytes());
+/// }
+/// ebdi::encode_in_place(&mut line, &cfg)?;
+/// bitplane::transpose_in_place(&mut line, &cfg)?;
+/// // …and the transposition turns words 1..=6 into pure zeros.
+/// assert!(line[8..56].iter().all(|&b| b == 0));
+/// assert!(line[56..].iter().any(|&b| b != 0));
+/// # Ok::<(), zr_types::Error>(())
+/// ```
+pub fn transpose_in_place(line: &mut [u8], config: &CachelineConfig) -> Result<()> {
+    check_len(line, config)?;
+    let wb = config.word_bytes;
+    let deltas = read_deltas(line, config);
+    let d_count = deltas.len();
+    let bits = wb * 8;
+    let region = &mut line[wb..];
+    region.fill(0);
+    // Output bit index (p * D + d) takes bit (bits-1-p) of delta d:
+    // plane 0 collects the MSBs, the final plane the LSBs.
+    for p in 0..bits {
+        for (d, &delta) in deltas.iter().enumerate() {
+            let bit = (delta >> (bits - 1 - p)) & 1;
+            if bit == 1 {
+                let idx = p * d_count + d;
+                region[idx / 8] |= 0x80 >> (idx % 8);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Inverse of [`transpose_in_place`].
+///
+/// # Errors
+///
+/// Returns [`Error::BadLength`] if `line` does not match the configured
+/// cacheline size.
+pub fn untranspose_in_place(line: &mut [u8], config: &CachelineConfig) -> Result<()> {
+    check_len(line, config)?;
+    let wb = config.word_bytes;
+    let bits = wb * 8;
+    let d_count = config.words_per_line() - 1;
+    let mut deltas = vec![0u64; d_count];
+    {
+        let region = &line[wb..];
+        for p in 0..bits {
+            for (d, delta) in deltas.iter_mut().enumerate() {
+                let idx = p * d_count + d;
+                let bit = (region[idx / 8] >> (7 - idx % 8)) & 1;
+                if bit == 1 {
+                    *delta |= 1u64 << (bits - 1 - p);
+                }
+            }
+        }
+    }
+    write_deltas(line, config, &deltas);
+    Ok(())
+}
+
+fn check_len(line: &[u8], config: &CachelineConfig) -> Result<()> {
+    if line.len() != config.line_bytes {
+        return Err(Error::BadLength {
+            got: line.len(),
+            expected: config.line_bytes,
+        });
+    }
+    Ok(())
+}
+
+fn read_deltas(line: &[u8], config: &CachelineConfig) -> Vec<u64> {
+    let wb = config.word_bytes;
+    line[wb..]
+        .chunks_exact(wb)
+        .map(|c| {
+            let mut buf = [0u8; 8];
+            buf[..wb].copy_from_slice(c);
+            u64::from_le_bytes(buf)
+        })
+        .collect()
+}
+
+fn write_deltas(line: &mut [u8], config: &CachelineConfig, deltas: &[u64]) {
+    let wb = config.word_bytes;
+    for (chunk, &d) in line[wb..].chunks_exact_mut(wb).zip(deltas) {
+        chunk.copy_from_slice(&d.to_le_bytes()[..wb]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> CachelineConfig {
+        CachelineConfig::paper_default()
+    }
+
+    #[test]
+    fn zero_region_stays_zero() {
+        let mut line = [0u8; 64];
+        line[..8].copy_from_slice(&0xFFFF_FFFF_FFFF_FFFFu64.to_le_bytes());
+        transpose_in_place(&mut line, &cfg()).unwrap();
+        assert!(line[8..].iter().all(|&b| b == 0));
+        assert_eq!(&line[..8], &0xFFFF_FFFF_FFFF_FFFFu64.to_le_bytes());
+    }
+
+    #[test]
+    fn small_deltas_zero_all_but_last_word() {
+        // Every delta fits in 9 bits => 55 zero planes * 7 = 385 bits, so
+        // words 1..=6 (48 bytes = 384 bits) are fully zero.
+        let mut line = [0u8; 64];
+        for (i, w) in line[8..].chunks_exact_mut(8).enumerate() {
+            w.copy_from_slice(&(((i as u64) * 73) % 512).to_le_bytes());
+        }
+        transpose_in_place(&mut line, &cfg()).unwrap();
+        assert!(
+            line[8..56].iter().all(|&b| b == 0),
+            "leading delta words not zero"
+        );
+    }
+
+    #[test]
+    fn full_width_delta_spreads() {
+        // A delta with its MSB set puts a bit in the very first plane.
+        let mut line = [0u8; 64];
+        line[8..16].copy_from_slice(&(1u64 << 63).to_le_bytes());
+        transpose_in_place(&mut line, &cfg()).unwrap();
+        // Plane 0, delta 0 -> bit index 0 -> MSB of region byte 0.
+        assert_eq!(line[8] & 0x80, 0x80);
+    }
+
+    #[test]
+    fn round_trip_dense_content() {
+        let mut state = 1u64;
+        for _ in 0..200 {
+            let mut line = [0u8; 64];
+            for b in line.iter_mut() {
+                state = state
+                    .wrapping_mul(2862933555777941757)
+                    .wrapping_add(3037000493);
+                *b = (state >> 33) as u8;
+            }
+            let original = line;
+            transpose_in_place(&mut line, &cfg()).unwrap();
+            untranspose_in_place(&mut line, &cfg()).unwrap();
+            assert_eq!(line, original);
+        }
+    }
+
+    #[test]
+    fn transpose_is_a_bit_permutation() {
+        // Popcount of the delta region is invariant.
+        let mut line = [0u8; 64];
+        for (i, b) in line.iter_mut().enumerate() {
+            *b = (i as u8).wrapping_mul(31).wrapping_add(7);
+        }
+        let before: u32 = line[8..].iter().map(|b| b.count_ones()).sum();
+        transpose_in_place(&mut line, &cfg()).unwrap();
+        let after: u32 = line[8..].iter().map(|b| b.count_ones()).sum();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn four_byte_words_round_trip() {
+        let c = CachelineConfig {
+            line_bytes: 32,
+            word_bytes: 4,
+        };
+        let mut line: Vec<u8> = (0..32u8)
+            .map(|b| b.wrapping_mul(93).wrapping_add(5))
+            .collect();
+        let original = line.clone();
+        transpose_in_place(&mut line, &c).unwrap();
+        untranspose_in_place(&mut line, &c).unwrap();
+        assert_eq!(line, original);
+    }
+
+    #[test]
+    fn fig9a_small_example() {
+        // The paper's 4-byte line with 1-byte words: 3 deltas of 8 bits.
+        let c = CachelineConfig {
+            line_bytes: 4,
+            word_bytes: 1,
+        };
+        let mut line = [0xAB, 0x03, 0x01, 0x02];
+        let original = line;
+        transpose_in_place(&mut line, &c).unwrap();
+        // 3 deltas with values < 4: top 6 planes are zero = first 18 bits
+        // of the 24-bit region; so the first two region bytes are zero.
+        assert_eq!(line[1], 0);
+        assert_eq!(line[2], 0);
+        untranspose_in_place(&mut line, &c).unwrap();
+        assert_eq!(line, original);
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let mut line = [0u8; 16];
+        assert!(transpose_in_place(&mut line, &cfg()).is_err());
+        assert!(untranspose_in_place(&mut line, &cfg()).is_err());
+    }
+}

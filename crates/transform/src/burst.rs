@@ -1,0 +1,169 @@
+//! Wire-level burst byte mapping (§V-D, Fig. 13).
+//!
+//! When a 64-byte cacheline is written to a DDRx rank in burst mode, the
+//! controller drives one byte per chip per beat: in beat `t`, chip `c`
+//! receives wire byte `t * num_chips + c`. Under that *natural* mapping,
+//! the 8 bytes of one EBDI word scatter across all 8 chips, dispersing the
+//! non-zero base and delta words everywhere and destroying the discharged
+//! rows the rotation stage is trying to build.
+//!
+//! Fig. 13 fixes this by rearranging bytes *before* the burst so that the
+//! burst re-gathers each word into a single chip: placing byte `t` of word
+//! `c` at wire position `t * num_chips + c` (a byte-matrix transpose) makes
+//! chip `c` receive exactly word `c`. This module models both mappings so
+//! the equivalence between the wire view and the chip-major buffer layout
+//! used by [`crate::rotation`] is testable.
+
+use zr_types::{Error, Result};
+
+/// Permutes a chip-major line into wire (burst) order: byte `t` of segment
+/// `c` moves to wire position `t * num_chips + c` (the Fig. 13 remapping).
+///
+/// # Errors
+///
+/// Returns [`Error::BadLength`] if the line length is not divisible by
+/// `num_chips`, or [`Error::InvalidConfig`] if `num_chips` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use zr_transform::burst;
+///
+/// let line: Vec<u8> = (0..64).collect();
+/// let wire = burst::to_wire_order(&line, 8)?;
+/// // In beat 0 the chips receive the first byte of each word:
+/// assert_eq!(&wire[..8], &[0, 8, 16, 24, 32, 40, 48, 56]);
+/// # Ok::<(), zr_types::Error>(())
+/// ```
+pub fn to_wire_order(line: &[u8], num_chips: usize) -> Result<Vec<u8>> {
+    let beats = beats(line.len(), num_chips)?;
+    let mut wire = vec![0u8; line.len()];
+    for c in 0..num_chips {
+        for t in 0..beats {
+            wire[t * num_chips + c] = line[c * beats + t];
+        }
+    }
+    Ok(wire)
+}
+
+/// Inverse of [`to_wire_order`]: reconstructs the chip-major line from the
+/// wire byte stream.
+///
+/// # Errors
+///
+/// Returns the same errors as [`to_wire_order`].
+pub fn from_wire_order(wire: &[u8], num_chips: usize) -> Result<Vec<u8>> {
+    let beats = beats(wire.len(), num_chips)?;
+    let mut line = vec![0u8; wire.len()];
+    for c in 0..num_chips {
+        for t in 0..beats {
+            line[c * beats + t] = wire[t * num_chips + c];
+        }
+    }
+    Ok(line)
+}
+
+/// The bytes chip `chip` latches from a wire-ordered burst: one byte per
+/// beat, at wire position `t * num_chips + chip`.
+///
+/// # Errors
+///
+/// Returns the same errors as [`to_wire_order`], or
+/// [`Error::InvalidConfig`] if `chip` is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use zr_transform::burst;
+///
+/// // End to end: remapping + burst delivery hands chip c exactly its
+/// // chip-major segment.
+/// let line: Vec<u8> = (0..64).collect();
+/// let wire = burst::to_wire_order(&line, 8)?;
+/// for c in 0..8 {
+///     let received = burst::chip_receives(&wire, c, 8)?;
+///     assert_eq!(received, &line[c * 8..(c + 1) * 8]);
+/// }
+/// # Ok::<(), zr_types::Error>(())
+/// ```
+pub fn chip_receives(wire: &[u8], chip: usize, num_chips: usize) -> Result<Vec<u8>> {
+    let beats = beats(wire.len(), num_chips)?;
+    if chip >= num_chips {
+        return Err(Error::invalid_config(format!(
+            "chip {chip} out of range for {num_chips} chips"
+        )));
+    }
+    Ok((0..beats).map(|t| wire[t * num_chips + chip]).collect())
+}
+
+fn beats(len: usize, num_chips: usize) -> Result<usize> {
+    if num_chips == 0 {
+        return Err(Error::invalid_config("num_chips must be non-zero"));
+    }
+    if !len.is_multiple_of(num_chips) {
+        return Err(Error::BadLength {
+            got: len,
+            expected: len.next_multiple_of(num_chips),
+        });
+    }
+    Ok(len / num_chips)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_round_trips() {
+        let line: Vec<u8> = (0..64).map(|b| (b as u8).wrapping_mul(17)).collect();
+        let wire = to_wire_order(&line, 8).unwrap();
+        assert_eq!(from_wire_order(&wire, 8).unwrap(), line);
+    }
+
+    #[test]
+    fn natural_mapping_would_scatter_words() {
+        // Without the Fig. 13 remap (i.e. sending the line as-is down the
+        // wire), chip 0 would receive one byte of every word.
+        let line: Vec<u8> = (0..64).collect();
+        let scattered = chip_receives(&line, 0, 8).unwrap();
+        assert_eq!(scattered, vec![0, 8, 16, 24, 32, 40, 48, 56]);
+    }
+
+    #[test]
+    fn remap_gathers_each_word_into_one_chip() {
+        let line: Vec<u8> = (0..64).collect();
+        let wire = to_wire_order(&line, 8).unwrap();
+        for c in 0..8 {
+            let rx = chip_receives(&wire, c, 8).unwrap();
+            let want: Vec<u8> = (c as u8 * 8..c as u8 * 8 + 8).collect();
+            assert_eq!(rx, want, "chip {c}");
+        }
+    }
+
+    #[test]
+    fn four_chips_sixteen_beats() {
+        let line: Vec<u8> = (0..64).collect();
+        let wire = to_wire_order(&line, 4).unwrap();
+        for c in 0..4 {
+            let rx = chip_receives(&wire, c, 4).unwrap();
+            let want: Vec<u8> = (c as u8 * 16..c as u8 * 16 + 16).collect();
+            assert_eq!(rx, want);
+        }
+    }
+
+    #[test]
+    fn transpose_is_self_inverse_when_square() {
+        // With 8 chips and 8 beats the remap is an 8x8 transpose.
+        let line: Vec<u8> = (100..164).collect();
+        let twice = to_wire_order(&to_wire_order(&line, 8).unwrap(), 8).unwrap();
+        assert_eq!(twice, line);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(to_wire_order(&[0u8; 63], 8).is_err());
+        assert!(from_wire_order(&[0u8; 63], 8).is_err());
+        assert!(chip_receives(&[0u8; 64], 8, 8).is_err());
+        assert!(to_wire_order(&[0u8; 64], 0).is_err());
+    }
+}

@@ -1,0 +1,229 @@
+//! The EBDI (Encoded Base-Delta-Immediate) stage (§V-B, Fig. 10).
+//!
+//! Unlike BDI *compression*, EBDI keeps the cacheline size unchanged: the
+//! first word stays verbatim as the base, and every following word is
+//! replaced by the sign-free encoding ([`crate::encoding`]) of its
+//! difference from the base. Value locality within a cacheline makes those
+//! deltas small, so the encoded words carry long runs of zero bits.
+
+use crate::encoding::{decode_delta, encode_delta};
+use zr_types::{CachelineConfig, Error, Result};
+
+/// Applies the EBDI forward transform in place.
+///
+/// Word 0 is kept as the base; word `i > 0` becomes
+/// `encode(word_i - base)` (wrapping subtraction at word width).
+///
+/// # Errors
+///
+/// Returns [`Error::BadLength`] if `line` does not match the configured
+/// cacheline size.
+///
+/// # Examples
+///
+/// ```
+/// use zr_transform::ebdi;
+/// use zr_types::CachelineConfig;
+///
+/// let cfg = CachelineConfig::paper_default();
+/// let mut line = [0u8; 64];
+/// line[..8].copy_from_slice(&100u64.to_le_bytes());
+/// line[8..16].copy_from_slice(&101u64.to_le_bytes());
+/// ebdi::encode_in_place(&mut line, &cfg)?;
+/// // word1 = encode(101 - 100) = encode(+1) = 2
+/// assert_eq!(u64::from_le_bytes(line[8..16].try_into().unwrap()), 2);
+/// # Ok::<(), zr_types::Error>(())
+/// ```
+pub fn encode_in_place(line: &mut [u8], config: &CachelineConfig) -> Result<()> {
+    check_len(line, config)?;
+    let wb = config.word_bytes;
+    let bits = (wb * 8) as u32;
+    let base = read_word(&line[..wb]);
+    for i in 1..config.words_per_line() {
+        let span = &mut line[i * wb..(i + 1) * wb];
+        let w = read_word(span);
+        let delta = w.wrapping_sub(base) & mask(bits);
+        write_word(span, encode_delta(delta, bits));
+    }
+    Ok(())
+}
+
+/// Applies the EBDI inverse transform in place. Exact inverse of
+/// [`encode_in_place`].
+///
+/// # Errors
+///
+/// Returns [`Error::BadLength`] if `line` does not match the configured
+/// cacheline size.
+pub fn decode_in_place(line: &mut [u8], config: &CachelineConfig) -> Result<()> {
+    check_len(line, config)?;
+    let wb = config.word_bytes;
+    let bits = (wb * 8) as u32;
+    let base = read_word(&line[..wb]);
+    for i in 1..config.words_per_line() {
+        let span = &mut line[i * wb..(i + 1) * wb];
+        let delta = decode_delta(read_word(span), bits);
+        write_word(span, base.wrapping_add(delta) & mask(bits));
+    }
+    Ok(())
+}
+
+fn check_len(line: &[u8], config: &CachelineConfig) -> Result<()> {
+    if line.len() != config.line_bytes {
+        return Err(Error::BadLength {
+            got: line.len(),
+            expected: config.line_bytes,
+        });
+    }
+    Ok(())
+}
+
+fn mask(bits: u32) -> u64 {
+    if bits == 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+/// Reads a little-endian word of up to 8 bytes.
+fn read_word(bytes: &[u8]) -> u64 {
+    let mut buf = [0u8; 8];
+    buf[..bytes.len()].copy_from_slice(bytes);
+    u64::from_le_bytes(buf)
+}
+
+/// Writes the low `bytes.len()` bytes of a word little-endian.
+fn write_word(bytes: &mut [u8], value: u64) {
+    let buf = value.to_le_bytes();
+    bytes.copy_from_slice(&buf[..bytes.len()]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> CachelineConfig {
+        CachelineConfig::paper_default()
+    }
+
+    fn words(line: &[u8]) -> Vec<u64> {
+        line.chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+
+    #[test]
+    fn base_is_untouched() {
+        let mut line = [0u8; 64];
+        line[..8].copy_from_slice(&0xABCD_EF01_2345_6789u64.to_le_bytes());
+        encode_in_place(&mut line, &cfg()).unwrap();
+        assert_eq!(words(&line)[0], 0xABCD_EF01_2345_6789);
+    }
+
+    #[test]
+    fn zero_line_stays_zero() {
+        let mut line = [0u8; 64];
+        encode_in_place(&mut line, &cfg()).unwrap();
+        assert!(line.iter().all(|&b| b == 0));
+        decode_in_place(&mut line, &cfg()).unwrap();
+        assert!(line.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn uniform_line_encodes_to_base_plus_zeros() {
+        // All words equal: every delta is zero, so only the base survives.
+        let mut line = [0u8; 64];
+        for w in line.chunks_exact_mut(8) {
+            w.copy_from_slice(&0x1122_3344_5566_7788u64.to_le_bytes());
+        }
+        encode_in_place(&mut line, &cfg()).unwrap();
+        let ws = words(&line);
+        assert_eq!(ws[0], 0x1122_3344_5566_7788);
+        assert!(ws[1..].iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    fn negative_deltas_stay_small() {
+        // Descending sequence: deltas are negative but encode small.
+        let mut line = [0u8; 64];
+        for (i, w) in line.chunks_exact_mut(8).enumerate() {
+            w.copy_from_slice(&(1000u64 - 10 * i as u64).to_le_bytes());
+        }
+        encode_in_place(&mut line, &cfg()).unwrap();
+        for &w in &words(&line)[1..] {
+            assert!(w < 256, "encoded delta too large: {w}");
+        }
+    }
+
+    #[test]
+    fn round_trip_random_lines() {
+        // Deterministic pseudo-random content (no RNG dependency needed).
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        for _ in 0..200 {
+            let mut line = [0u8; 64];
+            for b in line.iter_mut() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                *b = (state >> 56) as u8;
+            }
+            let original = line;
+            encode_in_place(&mut line, &cfg()).unwrap();
+            decode_in_place(&mut line, &cfg()).unwrap();
+            assert_eq!(line, original);
+        }
+    }
+
+    #[test]
+    fn four_byte_words_round_trip() {
+        let c = CachelineConfig {
+            line_bytes: 32,
+            word_bytes: 4,
+        };
+        let mut line: Vec<u8> = (0..32u8).map(|b| b.wrapping_mul(37)).collect();
+        let original = line.clone();
+        encode_in_place(&mut line, &c).unwrap();
+        decode_in_place(&mut line, &c).unwrap();
+        assert_eq!(line, original);
+    }
+
+    #[test]
+    fn one_byte_words_round_trip() {
+        // The Fig. 9a illustration uses tiny words; make sure widths < 4
+        // work too.
+        let c = CachelineConfig {
+            line_bytes: 4,
+            word_bytes: 1,
+        };
+        for start in 0..=255u8 {
+            let mut line = [start, start.wrapping_add(3), start.wrapping_sub(2), 0x80];
+            let original = line;
+            encode_in_place(&mut line, &c).unwrap();
+            decode_in_place(&mut line, &c).unwrap();
+            assert_eq!(line, original);
+        }
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let mut line = [0u8; 32];
+        assert!(matches!(
+            encode_in_place(&mut line, &cfg()),
+            Err(Error::BadLength {
+                got: 32,
+                expected: 64
+            })
+        ));
+    }
+
+    #[test]
+    fn wrapping_delta_round_trips() {
+        // base near u64::MAX, word small: delta wraps.
+        let mut line = [0u8; 64];
+        line[..8].copy_from_slice(&u64::MAX.to_le_bytes());
+        line[8..16].copy_from_slice(&3u64.to_le_bytes());
+        let original = line;
+        encode_in_place(&mut line, &cfg()).unwrap();
+        decode_in_place(&mut line, &cfg()).unwrap();
+        assert_eq!(line, original);
+    }
+}

@@ -1,0 +1,191 @@
+//! The sign-free delta encoding of Fig. 11.
+//!
+//! Two's complement wastes the refresh opportunity of small negative
+//! deltas: `-1` is all ones, which charges every true cell. The EBDI
+//! encoding instead interleaves positive and negative values around zero —
+//! `0 → 0`, `-1 → 1`, `+1 → 2`, `-2 → 3`, `+2 → 4`, … — so a delta of
+//! magnitude `m` encodes into roughly `2m`, a value with long runs of
+//! leading zero bits (the *true-cell* encoding of Fig. 11b). The
+//! *anti-cell* encoding (Fig. 11c) is the bitwise complement and is applied
+//! at the pipeline level (see [`crate::pipeline`]).
+//!
+//! The code is a bijection on `w`-bit words for any width, so the
+//! transformation is lossless even when deltas wrap around.
+
+/// Encodes a `bits`-wide two's-complement delta into the sign-free code.
+///
+/// `delta` is interpreted as a `bits`-wide two's-complement integer stored
+/// in the low bits of a `u64`; bits above `bits` are ignored. The result
+/// occupies the low `bits` bits.
+///
+/// # Panics
+///
+/// Panics if `bits` is zero or greater than 64.
+///
+/// # Examples
+///
+/// ```
+/// use zr_transform::encoding::{encode_delta, decode_delta};
+///
+/// assert_eq!(encode_delta(0, 64), 0);
+/// assert_eq!(encode_delta((-1i64) as u64, 64), 1);
+/// assert_eq!(encode_delta(1, 64), 2);
+/// assert_eq!(encode_delta((-2i64) as u64, 64), 3);
+/// assert_eq!(encode_delta(2, 64), 4);
+/// // Small magnitudes stay small in any width.
+/// assert_eq!(encode_delta(0xFF, 8), 1); // -1 in 8 bits
+/// # let _ = decode_delta;
+/// ```
+pub fn encode_delta(delta: u64, bits: u32) -> u64 {
+    assert!((1..=64).contains(&bits), "bits must be in 1..=64");
+    let mask = width_mask(bits);
+    let d = delta & mask;
+    // Arithmetic shift of the sign bit within the `bits`-wide field:
+    // 0 for non-negative, all-ones for negative.
+    let sign = if d >> (bits - 1) & 1 == 1 { mask } else { 0 };
+    ((d << 1) ^ sign) & mask
+}
+
+/// Decodes the sign-free code back to the `bits`-wide two's-complement
+/// delta. Exact inverse of [`encode_delta`].
+///
+/// # Panics
+///
+/// Panics if `bits` is zero or greater than 64.
+///
+/// # Examples
+///
+/// ```
+/// use zr_transform::encoding::{decode_delta, encode_delta};
+/// for d in [0u64, 1, 2, 0xFFFF_FFFF_FFFF_FFFF, 0x8000_0000_0000_0000] {
+///     assert_eq!(decode_delta(encode_delta(d, 64), 64), d);
+/// }
+/// ```
+pub fn decode_delta(code: u64, bits: u32) -> u64 {
+    assert!((1..=64).contains(&bits), "bits must be in 1..=64");
+    let mask = width_mask(bits);
+    let z = code & mask;
+    let sign = if z & 1 == 1 { mask } else { 0 };
+    ((z >> 1) ^ sign) & mask
+}
+
+/// Number of significant bits of the encoded value: the position of the
+/// highest set bit plus one, or zero for an all-zero code. Used by content
+/// analyses to ask "does every delta of this line fit in `k` bits?".
+///
+/// # Examples
+///
+/// ```
+/// use zr_transform::encoding::significant_bits;
+/// assert_eq!(significant_bits(0), 0);
+/// assert_eq!(significant_bits(1), 1);
+/// assert_eq!(significant_bits(0xFF), 8);
+/// ```
+pub fn significant_bits(code: u64) -> u32 {
+    64 - code.leading_zeros()
+}
+
+fn width_mask(bits: u32) -> u64 {
+    if bits == 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig11_wheel_values() {
+        // The wheel of Fig. 11b, read clockwise from zero.
+        let expect = [
+            (0i64, 0u64),
+            (-1, 1),
+            (1, 2),
+            (-2, 3),
+            (2, 4),
+            (-3, 5),
+            (3, 6),
+            (-4, 7),
+        ];
+        for (delta, code) in expect {
+            assert_eq!(encode_delta(delta as u64, 64), code, "delta {delta}");
+            assert_eq!(decode_delta(code, 64), delta as u64, "code {code}");
+        }
+    }
+
+    #[test]
+    fn small_magnitude_gives_leading_zeros() {
+        // |delta| <= 127 always fits in 8 encoded bits.
+        for d in -127i64..=127 {
+            let code = encode_delta(d as u64, 64);
+            assert!(
+                significant_bits(code) <= 8,
+                "delta {d} encoded to {code:#x}"
+            );
+        }
+        // Two's complement, by contrast, fills the high bits for negatives.
+        assert_eq!(significant_bits((-1i64) as u64), 64);
+    }
+
+    #[test]
+    fn bijection_8_bit() {
+        let mut seen = [false; 256];
+        for v in 0..=255u64 {
+            let c = encode_delta(v, 8);
+            assert!(c <= 255);
+            assert!(!seen[c as usize], "duplicate code {c}");
+            seen[c as usize] = true;
+            assert_eq!(decode_delta(c, 8), v);
+        }
+    }
+
+    #[test]
+    fn bijection_respects_width_boundary() {
+        // In 4-bit width, -8 (0b1000) is the most negative value; its code
+        // must still fit in 4 bits and round-trip.
+        for v in 0..16u64 {
+            let c = encode_delta(v, 4);
+            assert!(c < 16);
+            assert_eq!(decode_delta(c, 4), v);
+        }
+    }
+
+    #[test]
+    fn round_trip_64_extremes() {
+        for v in [
+            0u64,
+            1,
+            u64::MAX,
+            i64::MIN as u64,
+            i64::MAX as u64,
+            0xDEAD_BEEF_CAFE_F00D,
+        ] {
+            assert_eq!(decode_delta(encode_delta(v, 64), 64), v);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_bits_panics() {
+        encode_delta(1, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_bits_panics() {
+        decode_delta(1, 65);
+    }
+
+    #[test]
+    fn significant_bits_monotone() {
+        let mut prev = 0;
+        for k in 0..64 {
+            let s = significant_bits(1u64 << k);
+            assert!(s > prev || k == 0);
+            prev = s;
+        }
+    }
+}

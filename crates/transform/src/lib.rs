@@ -1,0 +1,65 @@
+//! CPU-side value transformation for ZERO-REFRESH (§V of the paper).
+//!
+//! The transformation sits between LLC miss handling and the memory
+//! controller. On the write path it reshapes each evicted cacheline so that
+//! zero-heavy content becomes long runs of *discharged* bits at DRAM, where
+//! the charge-aware refresh logic can skip whole rows. The read path applies
+//! the exact inverse, so software never observes the transformation.
+//!
+//! Three stages (Fig. 9):
+//!
+//! 1. **EBDI** ([`ebdi`]) — the first word of the line is kept as the
+//!    *base*; every other word is replaced by an encoded delta from the
+//!    base. The encoding ([`encoding`]) is the sign-free code of Fig. 11,
+//!    which gives small positive *and* negative deltas long runs of leading
+//!    zeros without a separate sign bit.
+//! 2. **Bit-plane transposition** ([`bitplane`]) — the delta words are
+//!    transposed bit-plane-wise (Fig. 12) so the zero high-order bits of
+//!    all deltas coalesce into leading all-zero words, concentrating every
+//!    non-zero bit into the trailing *delta word*.
+//! 3. **Data rotation** ([`rotation`], [`burst`]) — words are assigned to
+//!    DRAM chips with a per-row rotation (Fig. 9b) realized by the burst
+//!    byte remapping of Fig. 13, so that base words of a row block collect
+//!    into one refresh group and delta words into another, leaving the
+//!    remaining groups fully discharged for BDI-friendly data.
+//!
+//! Anti-cell rows (§II-B) store the bitwise complement of the true-cell
+//! image ("the bits reversed from the true-cell encoding", Fig. 11c), so
+//! zero-heavy content is discharged in both cell types.
+//!
+//! # Examples
+//!
+//! ```
+//! use zr_transform::ValueTransformer;
+//! use zr_types::{geometry::RowIndex, SystemConfig};
+//!
+//! let config = SystemConfig::paper_default();
+//! let tf = ValueTransformer::new(&config)?;
+//!
+//! // A pointer-like array: one base and small deltas.
+//! let mut line = [0u8; 64];
+//! for (i, w) in line.chunks_exact_mut(8).enumerate() {
+//!     w.copy_from_slice(&(0x7f80_1230_0000u64 + 16 * i as u64).to_le_bytes());
+//! }
+//! let original = line;
+//!
+//! tf.encode_in_place(&mut line, RowIndex(0))?;
+//! // Everything between the base word and the delta word became zero.
+//! assert!(line[8..56].iter().all(|&b| b == 0));
+//!
+//! tf.decode_in_place(&mut line, RowIndex(0))?;
+//! assert_eq!(line, original);
+//! # Ok::<(), zr_types::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bitplane;
+pub mod burst;
+pub mod ebdi;
+pub mod encoding;
+pub mod pipeline;
+pub mod rotation;
+
+pub use pipeline::ValueTransformer;

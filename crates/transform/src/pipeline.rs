@@ -1,0 +1,337 @@
+//! The complete value-transformation pipeline (Fig. 9).
+//!
+//! [`ValueTransformer`] composes the EBDI, bit-plane, cell-type and
+//! rotation stages into the write-path encoder and its read-path inverse.
+//! Stages can be toggled individually through
+//! [`TransformConfig`] for ablation studies.
+
+use crate::{bitplane, ebdi, rotation};
+use zr_types::geometry::RowIndex;
+use zr_types::{CachelineConfig, CellType, DramConfig, Result, SystemConfig, TransformConfig};
+
+/// The CPU-side value transformation engine of ZERO-REFRESH.
+///
+/// One instance is configured per memory system and applied to every
+/// cacheline moving between the LLC and the memory controller. The
+/// transformation depends only on the destination rank-row (for the cell
+/// type and rotation amount), so reads invert it deterministically.
+///
+/// # Examples
+///
+/// ```
+/// use zr_transform::ValueTransformer;
+/// use zr_types::{geometry::RowIndex, SystemConfig};
+///
+/// let tf = ValueTransformer::new(&SystemConfig::paper_default())?;
+/// let mut line = [7u8; 64];
+/// tf.encode_in_place(&mut line, RowIndex(42))?;
+/// tf.decode_in_place(&mut line, RowIndex(42))?;
+/// assert_eq!(line, [7u8; 64]);
+/// # Ok::<(), zr_types::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ValueTransformer {
+    line: CachelineConfig,
+    stages: TransformConfig,
+    dram: DramConfig,
+}
+
+impl ValueTransformer {
+    /// Builds a transformer for `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`zr_types::Error::InvalidConfig`] if the configuration does
+    /// not validate.
+    pub fn new(config: &SystemConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(ValueTransformer {
+            line: config.line,
+            stages: config.transform,
+            dram: config.dram.clone(),
+        })
+    }
+
+    /// The cacheline geometry this transformer was built with.
+    pub fn line_config(&self) -> &CachelineConfig {
+        &self.line
+    }
+
+    /// The stage toggles this transformer was built with.
+    pub fn stages(&self) -> &TransformConfig {
+        &self.stages
+    }
+
+    /// Encodes a cacheline for storage in rank-row `row` (write path).
+    ///
+    /// After this call the buffer is in *chip-major* order: bytes
+    /// `c * seg .. (c+1) * seg` are what chip `c` stores (see
+    /// [`crate::rotation`]); the wire-level realization is modeled in
+    /// [`crate::burst`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`zr_types::Error::BadLength`] if `line` does not match the
+    /// configured cacheline size.
+    pub fn encode_in_place(&self, line: &mut [u8], row: RowIndex) -> Result<()> {
+        if self.stages.ebdi {
+            ebdi::encode_in_place(line, &self.line)?;
+        }
+        if self.stages.bit_plane {
+            bitplane::transpose_in_place(line, &self.line)?;
+        }
+        if self.stages.cell_aware && self.cell_type(row) == CellType::Anti {
+            invert(line);
+        }
+        if self.stages.rotation {
+            rotation::rotate_in_place(line, row, self.dram.num_chips)?;
+        }
+        Ok(())
+    }
+
+    /// Decodes a cacheline read back from rank-row `row` (read path).
+    /// Exact inverse of [`Self::encode_in_place`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`zr_types::Error::BadLength`] if `line` does not match the
+    /// configured cacheline size.
+    pub fn decode_in_place(&self, line: &mut [u8], row: RowIndex) -> Result<()> {
+        if self.stages.rotation {
+            rotation::unrotate_in_place(line, row, self.dram.num_chips)?;
+        }
+        if self.stages.cell_aware && self.cell_type(row) == CellType::Anti {
+            invert(line);
+        }
+        if self.stages.bit_plane {
+            bitplane::untranspose_in_place(line, &self.line)?;
+        }
+        if self.stages.ebdi {
+            ebdi::decode_in_place(line, &self.line)?;
+        }
+        Ok(())
+    }
+
+    /// Owned-buffer convenience wrapper over [`Self::encode_in_place`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::encode_in_place`].
+    pub fn encode(&self, line: &[u8], row: RowIndex) -> Result<Vec<u8>> {
+        let mut buf = line.to_vec();
+        self.encode_in_place(&mut buf, row)?;
+        Ok(buf)
+    }
+
+    /// Owned-buffer convenience wrapper over [`Self::decode_in_place`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::decode_in_place`].
+    pub fn decode(&self, line: &[u8], row: RowIndex) -> Result<Vec<u8>> {
+        let mut buf = line.to_vec();
+        self.decode_in_place(&mut buf, row)?;
+        Ok(buf)
+    }
+
+    /// The cell type of rank-row `row` as the transformer models it.
+    pub fn cell_type(&self, row: RowIndex) -> CellType {
+        CellType::of_row_index(row, &self.dram)
+    }
+
+    /// Whether an encoded (chip-major) line is fully discharged when stored
+    /// in rank-row `row` — i.e. whether every byte equals the discharged
+    /// pattern of the row's cell type.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use zr_transform::ValueTransformer;
+    /// use zr_types::{geometry::RowIndex, SystemConfig};
+    ///
+    /// let tf = ValueTransformer::new(&SystemConfig::paper_default())?;
+    /// // An all-zero (OS-cleansed) line is discharged in a true-cell row…
+    /// let enc = tf.encode(&[0u8; 64], RowIndex(0))?;
+    /// assert!(tf.is_discharged(&enc, RowIndex(0)));
+    /// // …and in an anti-cell row (rows 512.. in the default layout).
+    /// let enc = tf.encode(&[0u8; 64], RowIndex(512))?;
+    /// assert!(tf.is_discharged(&enc, RowIndex(512)));
+    /// # Ok::<(), zr_types::Error>(())
+    /// ```
+    pub fn is_discharged(&self, encoded: &[u8], row: RowIndex) -> bool {
+        let pattern = self.cell_type(row).discharged_byte();
+        encoded.iter().all(|&b| b == pattern)
+    }
+}
+
+fn invert(line: &mut [u8]) {
+    for b in line.iter_mut() {
+        *b = !*b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zr_types::geometry::ChipId;
+    use zr_types::Geometry;
+
+    fn tf() -> ValueTransformer {
+        ValueTransformer::new(&SystemConfig::paper_default()).unwrap()
+    }
+
+    fn pseudo_random_line(seed: u64) -> [u8; 64] {
+        let mut line = [0u8; 64];
+        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        for b in line.iter_mut() {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            *b = (s >> 56) as u8;
+        }
+        line
+    }
+
+    #[test]
+    fn round_trip_true_and_anti_rows() {
+        let tf = tf();
+        for seed in 0..50u64 {
+            for row in [0u64, 1, 7, 511, 512, 513, 1023, 1024] {
+                let original = pseudo_random_line(seed);
+                let mut line = original;
+                tf.encode_in_place(&mut line, RowIndex(row)).unwrap();
+                tf.decode_in_place(&mut line, RowIndex(row)).unwrap();
+                assert_eq!(line, original, "seed {seed} row {row}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_line_discharged_in_both_cell_types() {
+        let tf = tf();
+        let enc_true = tf.encode(&[0u8; 64], RowIndex(3)).unwrap();
+        assert!(enc_true.iter().all(|&b| b == 0x00));
+        let enc_anti = tf.encode(&[0u8; 64], RowIndex(600)).unwrap();
+        assert!(enc_anti.iter().all(|&b| b == 0xFF));
+        assert!(tf.is_discharged(&enc_true, RowIndex(3)));
+        assert!(tf.is_discharged(&enc_anti, RowIndex(600)));
+    }
+
+    #[test]
+    fn without_cell_awareness_anti_rows_lose_discharge() {
+        let mut cfg = SystemConfig::paper_default();
+        cfg.transform.cell_aware = false;
+        let tf = ValueTransformer::new(&cfg).unwrap();
+        let enc = tf.encode(&[0u8; 64], RowIndex(600)).unwrap();
+        // Stored logical zeros charge every anti cell.
+        assert!(!tf.is_discharged(&enc, RowIndex(600)));
+    }
+
+    #[test]
+    fn compressible_line_zeroes_middle_segments() {
+        let tf = tf();
+        let mut line = [0u8; 64];
+        for (i, w) in line.chunks_exact_mut(8).enumerate() {
+            w.copy_from_slice(&(0xDEAD_0000u64 + 4 * i as u64).to_le_bytes());
+        }
+        let enc = tf.encode(&line, RowIndex(0)).unwrap();
+        // Row 0: no rotation shift; base in chip 0, delta word in chip 7.
+        assert!(enc[8..56].iter().all(|&b| b == 0));
+        assert!(enc[0..8].iter().any(|&b| b != 0));
+        assert!(enc[56..64].iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn base_and_delta_words_collect_into_fixed_refresh_groups() {
+        // The cross-crate alignment property behind Fig. 9b: with per-row
+        // rotation and the staggered counters, the chip-rows holding base
+        // segments all share one refresh step, and the delta segments
+        // another, for every row of a block.
+        let cfg = SystemConfig::paper_default();
+        let geom = Geometry::new(&cfg).unwrap();
+        let chips = geom.num_chips();
+        let mut base_groups = std::collections::HashSet::new();
+        let mut delta_groups = std::collections::HashSet::new();
+        for row in 0..chips as u64 {
+            let base_chip = rotation::chip_of_segment(0, RowIndex(row), chips);
+            let delta_chip = rotation::chip_of_segment(chips - 1, RowIndex(row), chips);
+            base_groups.insert(geom.staggered_step(RowIndex(row), ChipId(base_chip)));
+            delta_groups.insert(geom.staggered_step(RowIndex(row), ChipId(delta_chip)));
+        }
+        assert_eq!(base_groups.len(), 1, "base words span several groups");
+        assert_eq!(delta_groups.len(), 1, "delta words span several groups");
+        assert_ne!(base_groups, delta_groups);
+    }
+
+    #[test]
+    fn middle_segments_each_collect_into_their_own_group() {
+        let cfg = SystemConfig::paper_default();
+        let geom = Geometry::new(&cfg).unwrap();
+        let chips = geom.num_chips();
+        for seg in 0..chips {
+            let groups: std::collections::HashSet<u64> = (0..chips as u64)
+                .map(|row| {
+                    let chip = rotation::chip_of_segment(seg, RowIndex(row), chips);
+                    geom.staggered_step(RowIndex(row), ChipId(chip))
+                })
+                .collect();
+            assert_eq!(groups.len(), 1, "segment {seg}");
+        }
+    }
+
+    #[test]
+    fn ablated_pipelines_still_round_trip() {
+        let combos = [
+            (true, false, false, true),
+            (false, true, false, false),
+            (false, false, true, true),
+            (true, true, false, false),
+            (false, false, false, false),
+        ];
+        for (ebdi, bit_plane, rot, cell) in combos {
+            let mut cfg = SystemConfig::paper_default();
+            cfg.transform = TransformConfig {
+                ebdi,
+                bit_plane,
+                rotation: rot,
+                cell_aware: cell,
+            };
+            let tf = ValueTransformer::new(&cfg).unwrap();
+            let original = pseudo_random_line(99);
+            for row in [0u64, 600] {
+                let mut line = original;
+                tf.encode_in_place(&mut line, RowIndex(row)).unwrap();
+                tf.decode_in_place(&mut line, RowIndex(row)).unwrap();
+                assert_eq!(line, original);
+            }
+        }
+    }
+
+    #[test]
+    fn misidentified_cell_type_still_round_trips() {
+        // §V-B: wrong cell-type identification must only cost refresh
+        // opportunities, never data. Model it as encode/decode agreeing on
+        // the (wrong) type: the inverse still restores the original.
+        let mut cfg = SystemConfig::paper_default();
+        cfg.dram.anti_cells_first = true; // "mispredicted" layout
+        let tf_wrong = ValueTransformer::new(&cfg).unwrap();
+        let original = pseudo_random_line(7);
+        let mut line = original;
+        tf_wrong.encode_in_place(&mut line, RowIndex(0)).unwrap();
+        tf_wrong.decode_in_place(&mut line, RowIndex(0)).unwrap();
+        assert_eq!(line, original);
+        // But a zero line now loses its skip opportunity on row 0, which
+        // is physically a true-cell row in the real device.
+        let enc = tf_wrong.encode(&[0u8; 64], RowIndex(0)).unwrap();
+        assert!(enc.iter().all(|&b| b == 0xFF));
+        let real = ValueTransformer::new(&SystemConfig::paper_default()).unwrap();
+        assert!(!real.is_discharged(&enc, RowIndex(0)));
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let tf = tf();
+        let mut line = [0u8; 32];
+        assert!(tf.encode_in_place(&mut line, RowIndex(0)).is_err());
+    }
+}

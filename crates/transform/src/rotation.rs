@@ -1,0 +1,196 @@
+//! The data-rotation stage (§V-D, Fig. 9b).
+//!
+//! A cacheline is split into `num_chips` equal segments (one EBDI word per
+//! chip in the evaluated 64 B / 8-chip system). Segment `s` of a cacheline
+//! in rank-row `R` is stored in chip `(s + R) mod num_chips`. Combined with
+//! the staggered refresh counters of §IV-C, this rotation collects the base
+//! words of a whole row block into a single refresh group and the delta
+//! words into another, leaving every other group of a BDI-friendly block
+//! fully discharged.
+//!
+//! The buffer layout convention after rotation is *chip-major*: bytes
+//! `c * seg .. (c + 1) * seg` are the bytes chip `c` stores.
+
+use zr_types::geometry::RowIndex;
+use zr_types::{Error, Result};
+
+/// Rotates line segments into chip-major order for rank-row `row`.
+///
+/// After this call, `line[c * seg .. (c+1) * seg]` holds the bytes destined
+/// for chip `c`, where `seg = line.len() / num_chips`.
+///
+/// # Errors
+///
+/// Returns [`Error::BadLength`] if the line length is not divisible by
+/// `num_chips`, or [`Error::InvalidConfig`] if `num_chips` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use zr_transform::rotation;
+/// use zr_types::geometry::RowIndex;
+///
+/// let mut line: Vec<u8> = (0..64).collect();
+/// rotation::rotate_in_place(&mut line, RowIndex(1), 8)?;
+/// // Segment 0 (bytes 0..8) moved to chip 1 (positions 8..16).
+/// assert_eq!(&line[8..16], &(0..8).collect::<Vec<u8>>()[..]);
+/// // The last segment wrapped around to chip 0.
+/// assert_eq!(&line[0..8], &(56..64).collect::<Vec<u8>>()[..]);
+/// # Ok::<(), zr_types::Error>(())
+/// ```
+pub fn rotate_in_place(line: &mut [u8], row: RowIndex, num_chips: usize) -> Result<()> {
+    let seg = segment_len(line.len(), num_chips)?;
+    let shift = (row.0 % num_chips as u64) as usize;
+    if shift == 0 {
+        return Ok(());
+    }
+    // Rotate whole segments right by `shift`: segment s -> chip (s+shift)%C.
+    line.rotate_right(shift * seg);
+    Ok(())
+}
+
+/// Inverse of [`rotate_in_place`].
+///
+/// # Errors
+///
+/// Returns the same errors as [`rotate_in_place`].
+pub fn unrotate_in_place(line: &mut [u8], row: RowIndex, num_chips: usize) -> Result<()> {
+    let seg = segment_len(line.len(), num_chips)?;
+    let shift = (row.0 % num_chips as u64) as usize;
+    if shift == 0 {
+        return Ok(());
+    }
+    line.rotate_left(shift * seg);
+    Ok(())
+}
+
+/// The chip that stores segment `segment` of a cacheline in rank-row `row`.
+///
+/// # Examples
+///
+/// ```
+/// use zr_transform::rotation::chip_of_segment;
+/// use zr_types::geometry::RowIndex;
+///
+/// assert_eq!(chip_of_segment(0, RowIndex(0), 8), 0);
+/// assert_eq!(chip_of_segment(0, RowIndex(3), 8), 3);
+/// assert_eq!(chip_of_segment(7, RowIndex(3), 8), 2);
+/// ```
+pub fn chip_of_segment(segment: usize, row: RowIndex, num_chips: usize) -> usize {
+    (segment + (row.0 % num_chips as u64) as usize) % num_chips
+}
+
+/// The segment stored in `chip` for a cacheline in rank-row `row`
+/// (inverse of [`chip_of_segment`]).
+pub fn segment_of_chip(chip: usize, row: RowIndex, num_chips: usize) -> usize {
+    let shift = (row.0 % num_chips as u64) as usize;
+    (chip + num_chips - shift) % num_chips
+}
+
+/// Borrows the bytes chip `chip` stores from a chip-major (rotated) line.
+///
+/// # Errors
+///
+/// Returns [`Error::BadLength`] / [`Error::InvalidConfig`] as
+/// [`rotate_in_place`] does, or [`Error::InvalidConfig`] if `chip` is out
+/// of range.
+pub fn chip_slice(line: &[u8], chip: usize, num_chips: usize) -> Result<&[u8]> {
+    let seg = segment_len(line.len(), num_chips)?;
+    if chip >= num_chips {
+        return Err(Error::invalid_config(format!(
+            "chip {chip} out of range for {num_chips} chips"
+        )));
+    }
+    Ok(&line[chip * seg..(chip + 1) * seg])
+}
+
+fn segment_len(line_len: usize, num_chips: usize) -> Result<usize> {
+    if num_chips == 0 {
+        return Err(Error::invalid_config("num_chips must be non-zero"));
+    }
+    if !line_len.is_multiple_of(num_chips) {
+        return Err(Error::BadLength {
+            got: line_len,
+            expected: line_len.next_multiple_of(num_chips),
+        });
+    }
+    Ok(line_len / num_chips)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_zero_is_identity() {
+        let mut line: Vec<u8> = (0..64).collect();
+        let original = line.clone();
+        rotate_in_place(&mut line, RowIndex(0), 8).unwrap();
+        assert_eq!(line, original);
+    }
+
+    #[test]
+    fn rotation_round_trips_all_shifts() {
+        for row in 0..16u64 {
+            let mut line: Vec<u8> = (0..64).collect();
+            let original = line.clone();
+            rotate_in_place(&mut line, RowIndex(row), 8).unwrap();
+            unrotate_in_place(&mut line, RowIndex(row), 8).unwrap();
+            assert_eq!(line, original, "row {row}");
+        }
+    }
+
+    #[test]
+    fn segment_lands_on_expected_chip() {
+        for row in 0..16u64 {
+            let mut line: Vec<u8> = (0..64).collect();
+            rotate_in_place(&mut line, RowIndex(row), 8).unwrap();
+            for s in 0..8 {
+                let chip = chip_of_segment(s, RowIndex(row), 8);
+                let slice = chip_slice(&line, chip, 8).unwrap();
+                let expected: Vec<u8> = (s as u8 * 8..s as u8 * 8 + 8).collect();
+                assert_eq!(slice, &expected[..], "row {row} segment {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn chip_and_segment_maps_invert() {
+        for row in [0u64, 1, 5, 7, 8, 123] {
+            for s in 0..8 {
+                let c = chip_of_segment(s, RowIndex(row), 8);
+                assert_eq!(segment_of_chip(c, RowIndex(row), 8), s);
+            }
+        }
+    }
+
+    #[test]
+    fn rotation_is_permutation() {
+        let mut line: Vec<u8> = (0..64).collect();
+        rotate_in_place(&mut line, RowIndex(5), 8).unwrap();
+        let mut sorted = line.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn four_chip_rotation() {
+        // The paper's illustration uses 4 chips.
+        let mut line: Vec<u8> = (0..16).collect();
+        rotate_in_place(&mut line, RowIndex(1), 4).unwrap();
+        // 4 segments of 4 bytes; segment 3 wraps to chip 0.
+        assert_eq!(&line[0..4], &[12, 13, 14, 15]);
+        assert_eq!(&line[4..8], &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn bad_lengths_rejected() {
+        let mut line = vec![0u8; 63];
+        assert!(rotate_in_place(&mut line, RowIndex(1), 8).is_err());
+        assert!(chip_slice(&line, 0, 8).is_err());
+        let line = vec![0u8; 64];
+        assert!(chip_slice(&line, 8, 8).is_err());
+        let mut line2 = vec![0u8; 64];
+        assert!(rotate_in_place(&mut line2, RowIndex(1), 0).is_err());
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for the value-transformation pipeline.
+//!
+//! The central correctness obligation of ZERO-REFRESH is that the CPU-side
+//! transformation is *lossless*: every read must return exactly the bytes
+//! that were written, for any content, any destination row, and any
+//! combination of enabled stages.
+
+use proptest::prelude::*;
+use zr_transform::{bitplane, burst, ebdi, encoding, rotation, ValueTransformer};
+use zr_types::geometry::RowIndex;
+use zr_types::{CachelineConfig, SystemConfig, TransformConfig};
+
+fn arb_line() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 64)
+}
+
+proptest! {
+    #[test]
+    fn encoding_round_trips_any_width(value in any::<u64>(), bits in 1u32..=64) {
+        let masked = if bits == 64 { value } else { value & ((1u64 << bits) - 1) };
+        let code = encoding::encode_delta(masked, bits);
+        prop_assert!(bits == 64 || code < (1u64 << bits));
+        prop_assert_eq!(encoding::decode_delta(code, bits), masked);
+    }
+
+    #[test]
+    fn encoding_small_magnitudes_stay_small(mag in 0i64..=i32::MAX as i64, neg in any::<bool>()) {
+        let delta = if neg { -mag } else { mag };
+        let code = encoding::encode_delta(delta as u64, 64);
+        // |delta| of m encodes to at most 2m + 1.
+        prop_assert!(code <= 2 * mag as u64 + 1);
+    }
+
+    #[test]
+    fn ebdi_round_trips(line in arb_line()) {
+        let cfg = CachelineConfig::paper_default();
+        let mut buf = line.clone();
+        ebdi::encode_in_place(&mut buf, &cfg).unwrap();
+        ebdi::decode_in_place(&mut buf, &cfg).unwrap();
+        prop_assert_eq!(buf, line);
+    }
+
+    #[test]
+    fn bitplane_round_trips(line in arb_line()) {
+        let cfg = CachelineConfig::paper_default();
+        let mut buf = line.clone();
+        bitplane::transpose_in_place(&mut buf, &cfg).unwrap();
+        bitplane::untranspose_in_place(&mut buf, &cfg).unwrap();
+        prop_assert_eq!(buf, line);
+    }
+
+    #[test]
+    fn bitplane_preserves_popcount(line in arb_line()) {
+        let cfg = CachelineConfig::paper_default();
+        let mut buf = line.clone();
+        let before: u32 = buf[8..].iter().map(|b| b.count_ones()).sum();
+        bitplane::transpose_in_place(&mut buf, &cfg).unwrap();
+        let after: u32 = buf[8..].iter().map(|b| b.count_ones()).sum();
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn rotation_round_trips(line in arb_line(), row in any::<u64>()) {
+        let mut buf = line.clone();
+        rotation::rotate_in_place(&mut buf, RowIndex(row), 8).unwrap();
+        rotation::unrotate_in_place(&mut buf, RowIndex(row), 8).unwrap();
+        prop_assert_eq!(buf, line);
+    }
+
+    #[test]
+    fn burst_round_trips(line in arb_line()) {
+        let wire = burst::to_wire_order(&line, 8).unwrap();
+        prop_assert_eq!(burst::from_wire_order(&wire, 8).unwrap(), line);
+    }
+
+    #[test]
+    fn full_pipeline_round_trips(line in arb_line(), row in 0u64..32768) {
+        let tf = ValueTransformer::new(&SystemConfig::paper_default()).unwrap();
+        let mut buf = line.clone();
+        tf.encode_in_place(&mut buf, RowIndex(row)).unwrap();
+        tf.decode_in_place(&mut buf, RowIndex(row)).unwrap();
+        prop_assert_eq!(buf, line);
+    }
+
+    #[test]
+    fn any_stage_combination_round_trips(
+        line in arb_line(),
+        row in 0u64..4096,
+        ebdi_on in any::<bool>(),
+        bp_on in any::<bool>(),
+        rot_on in any::<bool>(),
+        cell_on in any::<bool>(),
+    ) {
+        let mut cfg = SystemConfig::paper_default();
+        cfg.transform = TransformConfig {
+            ebdi: ebdi_on,
+            bit_plane: bp_on,
+            rotation: rot_on,
+            cell_aware: cell_on,
+        };
+        let tf = ValueTransformer::new(&cfg).unwrap();
+        let mut buf = line.clone();
+        tf.encode_in_place(&mut buf, RowIndex(row)).unwrap();
+        tf.decode_in_place(&mut buf, RowIndex(row)).unwrap();
+        prop_assert_eq!(buf, line);
+    }
+
+    #[test]
+    fn zero_lines_always_discharged(row in 0u64..32768) {
+        let tf = ValueTransformer::new(&SystemConfig::paper_default()).unwrap();
+        let enc = tf.encode(&[0u8; 64], RowIndex(row)).unwrap();
+        prop_assert!(tf.is_discharged(&enc, RowIndex(row)));
+    }
+
+    #[test]
+    fn encode_is_injective_per_row(a in arb_line(), b in arb_line(), row in 0u64..1024) {
+        let tf = ValueTransformer::new(&SystemConfig::paper_default()).unwrap();
+        let ea = tf.encode(&a, RowIndex(row)).unwrap();
+        let eb = tf.encode(&b, RowIndex(row)).unwrap();
+        prop_assert_eq!(a == b, ea == eb);
+    }
+}

@@ -1,0 +1,159 @@
+//! True- and anti-cell modeling (§II-B).
+//!
+//! The discharged state of a DRAM cell reads as logical `0` in a *true
+//! cell* and as logical `1` in an *anti cell*, depending on which side of
+//! the differential sense amplifier the cell's bitline is attached to. Cell
+//! types are uniform within a row and interleave between row blocks
+//! (typically every 512 rows in commodity devices).
+
+use crate::config::DramConfig;
+use crate::geometry::RowIndex;
+
+/// The cell type of a DRAM row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellType {
+    /// Charged reads as `1`, discharged reads as `0`.
+    True,
+    /// Charged reads as `0`, discharged reads as `1`.
+    Anti,
+}
+
+impl CellType {
+    /// The cell type of `row` under the block-interleaved layout of
+    /// `config` (§II-B: types alternate every `cell_block_rows` rows).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use zr_types::{cell::CellType, DramConfig};
+    /// let cfg = DramConfig::paper_default(); // 512-row blocks, true first
+    /// assert_eq!(CellType::of_row(511, &cfg), CellType::True);
+    /// assert_eq!(CellType::of_row(512, &cfg), CellType::Anti);
+    /// assert_eq!(CellType::of_row(1024, &cfg), CellType::True);
+    /// ```
+    pub fn of_row(row: u64, config: &DramConfig) -> CellType {
+        let block = row / config.cell_block_rows;
+        let anti = (block % 2 == 1) ^ config.anti_cells_first;
+        if anti {
+            CellType::Anti
+        } else {
+            CellType::True
+        }
+    }
+
+    /// Convenience wrapper over [`Self::of_row`] taking a [`RowIndex`].
+    pub fn of_row_index(row: RowIndex, config: &DramConfig) -> CellType {
+        CellType::of_row(row.0, config)
+    }
+
+    /// The logical byte value that leaves every cell of this type
+    /// discharged.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use zr_types::cell::CellType;
+    /// assert_eq!(CellType::True.discharged_byte(), 0x00);
+    /// assert_eq!(CellType::Anti.discharged_byte(), 0xFF);
+    /// ```
+    pub fn discharged_byte(self) -> u8 {
+        match self {
+            CellType::True => 0x00,
+            CellType::Anti => 0xFF,
+        }
+    }
+
+    /// Converts a logical byte to the charge-domain byte for this cell
+    /// type: a set bit means "charged".
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use zr_types::cell::CellType;
+    /// assert_eq!(CellType::True.charge_of(0b1010_0000), 0b1010_0000);
+    /// assert_eq!(CellType::Anti.charge_of(0b1010_0000), 0b0101_1111);
+    /// ```
+    pub fn charge_of(self, logical: u8) -> u8 {
+        match self {
+            CellType::True => logical,
+            CellType::Anti => !logical,
+        }
+    }
+
+    /// Whether a logical byte is stored fully discharged in this cell type.
+    pub fn is_discharged_byte(self, logical: u8) -> bool {
+        logical == self.discharged_byte()
+    }
+
+    /// The opposite cell type.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use zr_types::cell::CellType;
+    /// assert_eq!(CellType::True.flipped(), CellType::Anti);
+    /// ```
+    #[must_use]
+    pub fn flipped(self) -> CellType {
+        match self {
+            CellType::True => CellType::Anti,
+            CellType::Anti => CellType::True,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_alternate() {
+        let cfg = DramConfig::paper_default();
+        for row in 0..512 {
+            assert_eq!(CellType::of_row(row, &cfg), CellType::True);
+        }
+        for row in 512..1024 {
+            assert_eq!(CellType::of_row(row, &cfg), CellType::Anti);
+        }
+        assert_eq!(CellType::of_row(2048, &cfg), CellType::True);
+    }
+
+    #[test]
+    fn anti_first_phase() {
+        let mut cfg = DramConfig::paper_default();
+        cfg.anti_cells_first = true;
+        assert_eq!(CellType::of_row(0, &cfg), CellType::Anti);
+        assert_eq!(CellType::of_row(512, &cfg), CellType::True);
+    }
+
+    #[test]
+    fn charge_domain_round_trip() {
+        for b in 0..=255u8 {
+            // charge_of is an involution composed with itself for each type.
+            assert_eq!(CellType::True.charge_of(CellType::True.charge_of(b)), b);
+            assert_eq!(CellType::Anti.charge_of(CellType::Anti.charge_of(b)), b);
+        }
+    }
+
+    #[test]
+    fn discharged_detection() {
+        assert!(CellType::True.is_discharged_byte(0x00));
+        assert!(!CellType::True.is_discharged_byte(0x01));
+        assert!(CellType::Anti.is_discharged_byte(0xFF));
+        assert!(!CellType::Anti.is_discharged_byte(0xFE));
+    }
+
+    #[test]
+    fn small_block_config() {
+        let cfg = DramConfig::small_test(); // 16-row blocks
+        assert_eq!(CellType::of_row(15, &cfg), CellType::True);
+        assert_eq!(CellType::of_row(16, &cfg), CellType::Anti);
+        assert_eq!(CellType::of_row(31, &cfg), CellType::Anti);
+        assert_eq!(CellType::of_row(32, &cfg), CellType::True);
+    }
+
+    #[test]
+    fn flipped_is_involution() {
+        assert_eq!(CellType::True.flipped().flipped(), CellType::True);
+    }
+}

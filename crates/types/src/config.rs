@@ -1,0 +1,622 @@
+//! Simulated-system configuration mirroring Table II of the paper.
+
+use crate::error::Error;
+use crate::geometry::Geometry;
+use crate::units::Nanoseconds;
+use crate::Result;
+
+/// Refresh commands a memory controller issues within one retention window
+/// under the all-bank policy (§II-C: 8,192 auto-refresh commands per tRET).
+pub const REFRESH_COMMANDS_PER_TRET: u64 = 8192;
+
+/// Temperature operating mode, which determines the retention time
+/// (tRET, §II-C): 64 ms in the normal range, 32 ms beyond 85 °C.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TemperatureMode {
+    /// Normal temperature range: 64 ms retention.
+    Normal,
+    /// Extended temperature range (> 85 °C): 32 ms retention. The paper's
+    /// base configuration (§VI-A).
+    #[default]
+    Extended,
+}
+
+impl TemperatureMode {
+    /// The retention time (tRET) for this mode.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use zr_types::TemperatureMode;
+    /// assert_eq!(TemperatureMode::Normal.t_ret().to_millis(), 64.0);
+    /// assert_eq!(TemperatureMode::Extended.t_ret().to_millis(), 32.0);
+    /// ```
+    pub fn t_ret(self) -> Nanoseconds {
+        match self {
+            TemperatureMode::Normal => Nanoseconds::from_millis(64.0),
+            TemperatureMode::Extended => Nanoseconds::from_millis(32.0),
+        }
+    }
+
+    /// The auto-refresh command interval tREFI = tRET / 8192.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use zr_types::TemperatureMode;
+    /// let trefi = TemperatureMode::Normal.t_refi();
+    /// assert!((trefi.0 - 7812.5).abs() < 1e-9); // ~7.8 us
+    /// ```
+    pub fn t_refi(self) -> Nanoseconds {
+        Nanoseconds(self.t_ret().0 / REFRESH_COMMANDS_PER_TRET as f64)
+    }
+}
+
+/// Physical DRAM organization (rank level).
+///
+/// The paper's configuration (Table II): 32 GB capacity, 8 chips, 8 banks,
+/// 4 KB row buffer. The reproduction defaults to a scaled 1 GiB capacity —
+/// the mechanism is value-based, so normalized results are
+/// capacity-invariant (see DESIGN.md §3.4) — and the capacity can be raised
+/// for the scalability experiments.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DramConfig {
+    /// Number of DRAM chips (x8 devices) operated in unison per rank.
+    pub num_chips: usize,
+    /// Number of banks per chip.
+    pub num_banks: usize,
+    /// Rank-level row-buffer size in bytes (the refresh granularity unit).
+    pub row_bytes: usize,
+    /// Simulated capacity in bytes. Must be a multiple of
+    /// `num_banks * row_bytes`.
+    pub capacity_bytes: u64,
+    /// Rows per true/anti-cell block (§II-B: cell types interleave every
+    /// N rows; N is typically 512 in commodity DRAM).
+    pub cell_block_rows: u64,
+    /// Whether row 0 starts an anti-cell block instead of a true-cell block.
+    pub anti_cells_first: bool,
+}
+
+impl DramConfig {
+    /// The paper's Table II organization at a scaled 1 GiB capacity.
+    pub fn paper_default() -> Self {
+        DramConfig {
+            num_chips: 8,
+            num_banks: 8,
+            row_bytes: 4096,
+            capacity_bytes: 1 << 30,
+            cell_block_rows: 512,
+            anti_cells_first: false,
+        }
+    }
+
+    /// A tiny configuration for fast unit tests: 2 chips... intentionally
+    /// small and *not* the paper system. 8 chips are kept so the burst
+    /// mapping stays realistic, but only 64 rows per bank exist.
+    pub fn small_test() -> Self {
+        DramConfig {
+            num_chips: 8,
+            num_banks: 2,
+            row_bytes: 4096,
+            capacity_bytes: 2 * 64 * 4096, // 2 banks x 64 rows x 4 KiB
+            cell_block_rows: 16,
+            anti_cells_first: false,
+        }
+    }
+
+    /// Returns this configuration with a different capacity.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use zr_types::DramConfig;
+    /// let cfg = DramConfig::paper_default().with_capacity(4 << 30);
+    /// assert_eq!(cfg.capacity_bytes, 4 << 30);
+    /// ```
+    #[must_use]
+    pub fn with_capacity(mut self, capacity_bytes: u64) -> Self {
+        self.capacity_bytes = capacity_bytes;
+        self
+    }
+
+    /// Returns this configuration with a different rank-row size.
+    #[must_use]
+    pub fn with_row_bytes(mut self, row_bytes: usize) -> Self {
+        self.row_bytes = row_bytes;
+        self
+    }
+
+    /// Rows per bank implied by the capacity.
+    pub fn rows_per_bank(&self) -> u64 {
+        self.capacity_bytes / (self.num_banks as u64 * self.row_bytes as u64)
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when any field is zero, a size is
+    /// not a power of two, or the capacity is not a whole number of rows.
+    pub fn validate(&self) -> Result<()> {
+        if self.num_chips == 0 || self.num_banks == 0 {
+            return Err(Error::invalid_config("chips and banks must be non-zero"));
+        }
+        if !self.row_bytes.is_power_of_two() {
+            return Err(Error::invalid_config("row_bytes must be a power of two"));
+        }
+        if !self.num_chips.is_power_of_two() {
+            return Err(Error::invalid_config("num_chips must be a power of two"));
+        }
+        if !self.row_bytes.is_multiple_of(self.num_chips) {
+            return Err(Error::invalid_config(
+                "row_bytes must be divisible by num_chips",
+            ));
+        }
+        if self.capacity_bytes == 0
+            || !self
+                .capacity_bytes
+                .is_multiple_of(self.num_banks as u64 * self.row_bytes as u64)
+        {
+            return Err(Error::invalid_config(
+                "capacity must be a whole number of rows across all banks",
+            ));
+        }
+        if !self.rows_per_bank().is_power_of_two() {
+            return Err(Error::invalid_config(
+                "rows per bank must be a power of two",
+            ));
+        }
+        if self.cell_block_rows == 0 {
+            return Err(Error::invalid_config("cell_block_rows must be non-zero"));
+        }
+        Ok(())
+    }
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        DramConfig::paper_default()
+    }
+}
+
+/// DRAM timing parameters in nanoseconds (Table II).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingParams {
+    /// Row-active time.
+    pub t_ras_ns: f64,
+    /// RAS-to-CAS delay.
+    pub t_rcd_ns: f64,
+    /// Row-to-row activation delay.
+    pub t_rrd_ns: f64,
+    /// Four-activation window.
+    pub t_faw_ns: f64,
+    /// Refresh cycle time (time one auto-refresh command occupies a bank).
+    pub t_rfc_ns: f64,
+    /// Temperature mode (selects tRET / tREFI).
+    pub temperature: TemperatureMode,
+}
+
+impl TimingParams {
+    /// The paper's Table II timing values at extended temperature.
+    pub fn paper_default() -> Self {
+        TimingParams {
+            t_ras_ns: 28.0,
+            t_rcd_ns: 11.0,
+            t_rrd_ns: 5.0,
+            t_faw_ns: 24.0,
+            t_rfc_ns: 28.0,
+            temperature: TemperatureMode::Extended,
+        }
+    }
+
+    /// Retention window tRET.
+    pub fn t_ret(&self) -> Nanoseconds {
+        self.temperature.t_ret()
+    }
+
+    /// Auto-refresh command interval tREFI.
+    pub fn t_refi(&self) -> Nanoseconds {
+        self.temperature.t_refi()
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when a timing value is not positive.
+    pub fn validate(&self) -> Result<()> {
+        for (name, v) in [
+            ("t_ras_ns", self.t_ras_ns),
+            ("t_rcd_ns", self.t_rcd_ns),
+            ("t_rrd_ns", self.t_rrd_ns),
+            ("t_faw_ns", self.t_faw_ns),
+            ("t_rfc_ns", self.t_rfc_ns),
+        ] {
+            if v <= 0.0 || v.is_nan() {
+                return Err(Error::invalid_config(format!("{name} must be positive")));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for TimingParams {
+    fn default() -> Self {
+        TimingParams::paper_default()
+    }
+}
+
+/// Chip current parameters in milliamperes (Table II), used by the
+/// Micron-style DDR4 power model in `zr-energy`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IddParams {
+    /// Active-precharge current.
+    pub idd0: f64,
+    /// Active-read-precharge current.
+    pub idd1: f64,
+    /// Precharge power-down current.
+    pub idd2p: f64,
+    /// Precharge standby current.
+    pub idd2n: f64,
+    /// Active standby current.
+    pub idd3: f64,
+    /// Burst write current.
+    pub idd4w: f64,
+    /// Burst read current.
+    pub idd4r: f64,
+    /// Refresh current.
+    pub idd5: f64,
+    /// Self-refresh current.
+    pub idd6: f64,
+    /// Bank-interleaved read current.
+    pub idd7: f64,
+    /// Supply voltage in volts (DDR4 nominal).
+    pub vdd: f64,
+}
+
+impl IddParams {
+    /// The paper's Table II current values with DDR4's nominal 1.2 V supply.
+    pub fn paper_default() -> Self {
+        IddParams {
+            idd0: 23.0,
+            idd1: 30.0,
+            idd2p: 7.0,
+            idd2n: 12.0,
+            idd3: 8.0,
+            idd4w: 58.0,
+            idd4r: 60.0,
+            idd5: 120.0,
+            idd6: 8.0,
+            idd7: 105.0,
+            vdd: 1.2,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when a current or the supply voltage
+    /// is not positive.
+    pub fn validate(&self) -> Result<()> {
+        let all = [
+            self.idd0, self.idd1, self.idd2p, self.idd2n, self.idd3, self.idd4w, self.idd4r,
+            self.idd5, self.idd6, self.idd7, self.vdd,
+        ];
+        if all.iter().any(|v| *v <= 0.0 || v.is_nan()) {
+            return Err(Error::invalid_config(
+                "IDD currents and vdd must be positive",
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for IddParams {
+    fn default() -> Self {
+        IddParams::paper_default()
+    }
+}
+
+/// Cacheline geometry used by the value transformation (§V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CachelineConfig {
+    /// Cacheline size in bytes (64 in the evaluated system).
+    pub line_bytes: usize,
+    /// EBDI word size in bytes (8 in the evaluated system, §V-B).
+    pub word_bytes: usize,
+}
+
+impl CachelineConfig {
+    /// The paper's 64-byte cacheline with 8-byte EBDI words.
+    pub fn paper_default() -> Self {
+        CachelineConfig {
+            line_bytes: 64,
+            word_bytes: 8,
+        }
+    }
+
+    /// Number of words per cacheline.
+    pub fn words_per_line(&self) -> usize {
+        self.line_bytes / self.word_bytes
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when sizes are zero, not powers of
+    /// two, the word does not divide the line, or the word exceeds 8 bytes
+    /// (the transformation operates on `u64` words).
+    pub fn validate(&self) -> Result<()> {
+        if self.line_bytes == 0 || self.word_bytes == 0 {
+            return Err(Error::invalid_config(
+                "line and word sizes must be non-zero",
+            ));
+        }
+        if !self.line_bytes.is_power_of_two() || !self.word_bytes.is_power_of_two() {
+            return Err(Error::invalid_config(
+                "line and word sizes must be powers of two",
+            ));
+        }
+        if !self.line_bytes.is_multiple_of(self.word_bytes) || self.words_per_line() < 2 {
+            return Err(Error::invalid_config(
+                "cacheline must hold at least two words",
+            ));
+        }
+        if self.word_bytes > 8 {
+            return Err(Error::invalid_config("word size above 8 bytes unsupported"));
+        }
+        Ok(())
+    }
+}
+
+impl Default for CachelineConfig {
+    fn default() -> Self {
+        CachelineConfig::paper_default()
+    }
+}
+
+/// Which stages of the value transformation pipeline are enabled.
+///
+/// All stages are on in the paper's system; the flags exist for the
+/// ablation studies in the benchmark harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TransformConfig {
+    /// Enable the EBDI base-delta stage (§V-B).
+    pub ebdi: bool,
+    /// Enable the bit-plane transposition stage (§V-C).
+    pub bit_plane: bool,
+    /// Enable the data-rotation stage (§V-D).
+    pub rotation: bool,
+    /// Encode with awareness of true/anti-cell rows (§V-B, Fig. 11). When
+    /// disabled, the true-cell encoding is used everywhere, so values in
+    /// anti-cell rows are stored charged and lose their skip opportunity.
+    pub cell_aware: bool,
+}
+
+impl TransformConfig {
+    /// The full paper pipeline: every stage enabled.
+    pub fn paper_default() -> Self {
+        TransformConfig {
+            ebdi: true,
+            bit_plane: true,
+            rotation: true,
+            cell_aware: true,
+        }
+    }
+
+    /// The identity pipeline: no transformation at all (raw value-based
+    /// skipping only, as in the zero-indicator prior work).
+    pub fn disabled() -> Self {
+        TransformConfig {
+            ebdi: false,
+            bit_plane: false,
+            rotation: false,
+            cell_aware: false,
+        }
+    }
+}
+
+impl Default for TransformConfig {
+    fn default() -> Self {
+        TransformConfig::paper_default()
+    }
+}
+
+/// The complete simulated system of Table II.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SystemConfig {
+    /// Physical DRAM organization.
+    pub dram: DramConfig,
+    /// DRAM timing parameters.
+    pub timing: TimingParams,
+    /// Chip current parameters.
+    pub idd: IddParams,
+    /// Cacheline/word geometry for the transformation.
+    pub line: CachelineConfig,
+    /// Transformation stage toggles.
+    pub transform: TransformConfig,
+}
+
+impl SystemConfig {
+    /// The paper's evaluated system (Table II) at the scaled default
+    /// capacity.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let cfg = zr_types::SystemConfig::paper_default();
+    /// assert!(cfg.validate().is_ok());
+    /// assert_eq!(cfg.dram.num_chips, 8);
+    /// ```
+    pub fn paper_default() -> Self {
+        SystemConfig {
+            dram: DramConfig::paper_default(),
+            timing: TimingParams::paper_default(),
+            idd: IddParams::paper_default(),
+            line: CachelineConfig::paper_default(),
+            transform: TransformConfig::paper_default(),
+        }
+    }
+
+    /// A small, fast configuration for unit tests.
+    pub fn small_test() -> Self {
+        SystemConfig {
+            dram: DramConfig::small_test(),
+            ..SystemConfig::paper_default()
+        }
+    }
+
+    /// Derived geometry for this configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid; call [`Self::validate`]
+    /// first for a fallible path.
+    pub fn geometry(&self) -> Geometry {
+        Geometry::new(self).expect("invalid configuration")
+    }
+
+    /// Validates all components.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] describing the first inconsistency
+    /// found across the DRAM, timing, current and cacheline parameters.
+    pub fn validate(&self) -> Result<()> {
+        self.dram.validate()?;
+        self.timing.validate()?;
+        self.idd.validate()?;
+        self.line.validate()?;
+        if self.line.line_bytes > self.dram.row_bytes {
+            return Err(Error::invalid_config("cacheline larger than a row"));
+        }
+        // The rotation stage distributes one word per chip; the evaluated
+        // design has words_per_line == num_chips. Other ratios are allowed
+        // as long as words spread evenly over chips.
+        if !self
+            .line
+            .words_per_line()
+            .is_multiple_of(self.dram.num_chips)
+            && !self
+                .dram
+                .num_chips
+                .is_multiple_of(self.line.words_per_line())
+        {
+            return Err(Error::invalid_config(
+                "words per line and chip count must divide one another",
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_valid() {
+        let cfg = SystemConfig::paper_default();
+        cfg.validate().unwrap();
+        assert_eq!(cfg.dram.rows_per_bank(), (1 << 30) / (8 * 4096));
+    }
+
+    #[test]
+    fn small_test_is_valid() {
+        SystemConfig::small_test().validate().unwrap();
+    }
+
+    #[test]
+    fn trefi_matches_paper() {
+        // 64 ms / 8192 = 7.8125 us ~ the 7.8 us in Fig. 3.
+        let trefi = TemperatureMode::Normal.t_refi();
+        assert!((trefi.0 - 7812.5).abs() < 1e-9);
+        let trefi_ext = TemperatureMode::Extended.t_refi();
+        assert!((trefi_ext.0 - 3906.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_row_bytes_rejected() {
+        let mut cfg = DramConfig::paper_default();
+        cfg.row_bytes = 3000;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn zero_banks_rejected() {
+        let mut cfg = DramConfig::paper_default();
+        cfg.num_banks = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn capacity_must_be_whole_rows() {
+        let cfg = DramConfig::paper_default().with_capacity(4096 * 8 + 17);
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn rows_per_bank_power_of_two_enforced() {
+        // 3 rows per bank: multiple of row size but not a power of two.
+        let cfg = DramConfig {
+            num_chips: 8,
+            num_banks: 1,
+            row_bytes: 4096,
+            capacity_bytes: 3 * 4096,
+            cell_block_rows: 512,
+            anti_cells_first: false,
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn negative_timing_rejected() {
+        let mut t = TimingParams::paper_default();
+        t.t_rfc_ns = -1.0;
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn cacheline_validation() {
+        let mut l = CachelineConfig::paper_default();
+        l.word_bytes = 64;
+        assert!(l.validate().is_err()); // only one word per line
+        l.word_bytes = 16;
+        assert!(l.validate().is_err()); // > 8 bytes unsupported
+        l.word_bytes = 3;
+        assert!(l.validate().is_err()); // not a power of two
+    }
+
+    #[test]
+    fn word_chip_ratio_enforced() {
+        let mut cfg = SystemConfig::paper_default();
+        cfg.dram.num_chips = 8;
+        cfg.line = CachelineConfig {
+            line_bytes: 64,
+            word_bytes: 8,
+        };
+        cfg.validate().unwrap();
+        // 4 words over 8 chips: chips divisible by words -> allowed.
+        cfg.line.word_bytes = 8;
+        cfg.line.line_bytes = 32;
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn transform_toggles() {
+        assert!(TransformConfig::paper_default().ebdi);
+        assert!(!TransformConfig::disabled().rotation);
+    }
+
+    #[test]
+    fn with_builders() {
+        let cfg = DramConfig::paper_default()
+            .with_capacity(2 << 30)
+            .with_row_bytes(8192);
+        assert_eq!(cfg.capacity_bytes, 2 << 30);
+        assert_eq!(cfg.row_bytes, 8192);
+        cfg.validate().unwrap();
+    }
+}

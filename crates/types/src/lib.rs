@@ -1,0 +1,49 @@
+//! Shared configuration, geometry, address and unit types for the
+//! ZERO-REFRESH reproduction.
+//!
+//! ZERO-REFRESH (HPCA 2020) is a value-based DRAM refresh-reduction
+//! architecture: rows whose cells are all *discharged* do not need to be
+//! refreshed, and a CPU-side value transformation reshapes memory contents so
+//! that as many rows as possible end up fully discharged. This crate holds
+//! the vocabulary types every other crate in the workspace speaks:
+//!
+//! - [`SystemConfig`] / [`DramConfig`] / [`TimingParams`] / [`IddParams`] —
+//!   the simulated system of Table II in the paper,
+//! - [`geometry::Geometry`] — derived DRAM geometry (rows per bank, bytes
+//!   per chip-row, auto-refresh set sizing, …),
+//! - [`cell::CellType`] and the true/anti-cell layout of §II-B,
+//! - [`units`] — thin newtypes for energy, power and time so that model code
+//!   cannot mix units by accident,
+//! - [`Error`] — the common error type.
+//!
+//! # Examples
+//!
+//! ```
+//! use zr_types::{SystemConfig, cell::CellType};
+//!
+//! let config = SystemConfig::paper_default();
+//! let geom = config.geometry();
+//! assert_eq!(geom.chip_row_bytes(), 512); // 4 KiB rank row over 8 chips
+//! assert_eq!(CellType::of_row(0, &config.dram), CellType::True);
+//! assert_eq!(CellType::of_row(512, &config.dram), CellType::Anti);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cell;
+pub mod config;
+pub mod error;
+pub mod geometry;
+pub mod units;
+
+pub use cell::CellType;
+pub use config::{
+    CachelineConfig, DramConfig, IddParams, SystemConfig, TemperatureMode, TimingParams,
+    TransformConfig,
+};
+pub use error::Error;
+pub use geometry::Geometry;
+
+/// Result alias using the crate's [`Error`] type.
+pub type Result<T> = std::result::Result<T, Error>;

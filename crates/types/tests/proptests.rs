@@ -1,0 +1,97 @@
+//! Property tests for geometry and address mapping across arbitrary
+//! valid configurations.
+
+use proptest::prelude::*;
+use zr_types::geometry::{ChipId, LineAddr};
+use zr_types::{DramConfig, SystemConfig};
+
+fn arb_config() -> impl Strategy<Value = SystemConfig> {
+    // Powers of two within supported ranges.
+    (
+        1u32..=4,   // num_chips exponent: 2..16
+        0u32..=4,   // num_banks exponent: 1..16
+        11u32..=13, // row_bytes exponent: 2K..8K
+        4u32..=10,  // rows_per_bank exponent: 16..1024
+    )
+        .prop_map(|(c, b, r, rows)| {
+            let num_chips = 1usize << c;
+            let num_banks = 1usize << b;
+            let row_bytes = 1usize << r;
+            let rows_per_bank = 1u64 << rows;
+            let mut cfg = SystemConfig::paper_default();
+            cfg.dram = DramConfig {
+                num_chips,
+                num_banks,
+                row_bytes,
+                capacity_bytes: rows_per_bank * num_banks as u64 * row_bytes as u64,
+                cell_block_rows: 16,
+                anti_cells_first: false,
+            };
+            cfg
+        })
+        .prop_filter("config must validate", |cfg| cfg.validate().is_ok())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn locate_round_trips_everywhere(cfg in arb_config(), frac in 0.0f64..1.0) {
+        let geom = cfg.geometry();
+        let line = ((geom.total_lines() - 1) as f64 * frac) as u64;
+        let loc = geom.locate(LineAddr(line)).unwrap();
+        prop_assert_eq!(geom.line_addr(loc), LineAddr(line));
+        prop_assert!(loc.bank.0 < geom.num_banks());
+        prop_assert!(loc.row.0 < geom.rows_per_bank());
+        prop_assert!(loc.slot < geom.lines_per_row());
+    }
+
+    #[test]
+    fn out_of_range_always_rejected(cfg in arb_config(), beyond in 0u64..1000) {
+        let geom = cfg.geometry();
+        prop_assert!(geom.locate(LineAddr(geom.total_lines() + beyond)).is_err());
+    }
+
+    #[test]
+    fn stagger_is_a_permutation_for_any_geometry(cfg in arb_config()) {
+        let geom = cfg.geometry();
+        let rows = geom.rows_per_bank().min(128);
+        for chip in 0..geom.num_chips() {
+            let mut seen = vec![false; rows as usize];
+            for n in 0..rows {
+                let r = geom.staggered_row(n, ChipId(chip));
+                prop_assert!(r.0 < rows);
+                prop_assert!(!seen[r.0 as usize]);
+                seen[r.0 as usize] = true;
+                prop_assert_eq!(geom.staggered_step(r, ChipId(chip)), n);
+            }
+        }
+    }
+
+    #[test]
+    fn ar_sets_cover_every_row_exactly_once(cfg in arb_config()) {
+        let geom = cfg.geometry();
+        prop_assert_eq!(
+            geom.ar_sets_per_bank() * geom.ar_rows(),
+            geom.rows_per_bank()
+        );
+        prop_assert!(geom.ar_sets_per_bank() <= 8192);
+    }
+
+    #[test]
+    fn derived_sizes_are_consistent(cfg in arb_config()) {
+        let geom = cfg.geometry();
+        prop_assert_eq!(
+            geom.chip_row_bytes() * geom.num_chips(),
+            geom.row_bytes()
+        );
+        prop_assert_eq!(
+            geom.lines_per_row() * geom.line_bytes(),
+            geom.row_bytes()
+        );
+        prop_assert_eq!(
+            geom.total_lines() * geom.line_bytes() as u64,
+            geom.capacity_bytes()
+        );
+    }
+}

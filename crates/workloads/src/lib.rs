@@ -1,0 +1,49 @@
+//! Synthetic benchmark memory contents, access traces and data-center
+//! utilization models.
+//!
+//! The paper evaluates ZERO-REFRESH with execution-driven simulation over
+//! 17 SPEC CPU2006, 2 NPB and 4 TPC-H workloads, using the applications'
+//! real memory images, plus memory-utilization statistics from three
+//! published data-center traces. Neither the benchmark images (PIN + SPEC
+//! licensing) nor the raw traces are available here, so this crate
+//! substitutes *statistical models that expose the same observables*
+//! (see DESIGN.md, "Substitutions"):
+//!
+//! - [`content`] — cacheline/page content classes (zero pages, small-int
+//!   arrays, pointer arrays, floats, text, sparse, random) whose
+//!   BDI-friendliness spans the spectrum the mechanism cares about;
+//! - [`profiles`] — one mixture profile per named benchmark, calibrated
+//!   against the paper's published per-benchmark observables (Fig. 6 zero
+//!   fractions, Fig. 14 reduction ordering, Fig. 19 working sets);
+//! - [`trace`] — write/access trace generation within retention windows,
+//!   used for the temperature sensitivity (Fig. 16) and the Smart Refresh
+//!   comparison (Fig. 19);
+//! - [`datacenter`] — quantile models of the Google / Alibaba / Bitbrains
+//!   memory-utilization traces (Table I, Fig. 5).
+//!
+//! # Examples
+//!
+//! ```
+//! use zr_workloads::profiles::Benchmark;
+//!
+//! let all = Benchmark::all();
+//! assert_eq!(all.len(), 23);
+//! let gems = Benchmark::by_name("gemsFDTD").unwrap();
+//! // gemsFDTD is among the most transformation-friendly workloads…
+//! let sp = Benchmark::by_name("sp.C").unwrap();
+//! // …and sp.C among the least (Fig. 14).
+//! assert!(gems.profile().expected_reduction() > sp.profile().expected_reduction());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod content;
+pub mod datacenter;
+pub mod image;
+pub mod profiles;
+pub mod trace;
+
+pub use content::{LineClass, PageGenerator};
+pub use datacenter::DatacenterTrace;
+pub use profiles::{Benchmark, ContentProfile};

@@ -1,0 +1,688 @@
+//! Per-benchmark content and traffic profiles.
+//!
+//! Each of the paper's 23 workloads (17 SPEC CPU2006, 2 NPB, 4 TPC-H) is
+//! modeled as a mixture of page content classes plus traffic parameters.
+//! The mixtures are calibrated against the paper's published observables:
+//!
+//! - Fig. 14's per-benchmark refresh-reduction ordering (gemsFDTD and
+//!   sphinx3 highest; omnetpp, perlbench and sp.C lowest; 37.1% mean at
+//!   100% allocation),
+//! - Fig. 6's zero-value statistics (≈2.3% of 1 KB blocks, ≈43% of bytes
+//!   zero on average over touched pages),
+//! - Fig. 19's Smart Refresh working-set argument (mcf touches ≈47% of a
+//!   4 GB memory per window, ≈6% of 32 GB),
+//! - Fig. 17's IPC sensitivity (memory-bound gemsFDTD gains 10.8%,
+//!   compute-bound gobmk 0.3%).
+//!
+//! The calibration lives entirely in [`Benchmark::profile`]'s table; the
+//! machinery consuming it is content-agnostic.
+
+use crate::content::{LineClass, PageGenerator};
+use zr_types::{Error, Result};
+
+/// Calibration gain applied to the BDI-friendly (small-int and pointer)
+/// mixture weights when drawing page classes. The raw table values are
+/// first-order targets; the gain compensates the reduction losses the
+/// end-to-end pipeline introduces (content-run boundaries breaking row
+/// homogeneity, steady-state writes re-refreshing the hot set) so the
+/// *measured* Fig. 14 suite mean lands at the paper's 37.1%. Weights are
+/// renormalized after the gain, so mixtures always stay valid.
+pub const BDI_CALIBRATION_GAIN: f64 = 1.45;
+
+/// A benchmark's content mixture and traffic parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContentProfile {
+    /// Benchmark name as the paper spells it.
+    pub name: &'static str,
+    /// Fraction of pages that are all-zero (zero-initialized, sparse tail
+    /// of the heap, cleared buffers).
+    pub zero_pages: f64,
+    /// Fraction of pages holding small-integer arrays.
+    pub small_int_pages: f64,
+    /// Fraction of pages holding pointer-like structures.
+    pub pointer_pages: f64,
+    /// Fraction of pages holding floating-point state.
+    pub float_pages: f64,
+    /// Fraction of pages holding text.
+    pub text_pages: f64,
+    /// Fraction of pages holding sparse byte content.
+    pub sparse_pages: f64,
+    /// Memory accesses per kilo-instruction (drives the IPC model).
+    pub mpki: f64,
+    /// Fraction of memory accesses that are writes.
+    pub write_fraction: f64,
+    /// Resident working set of one instance in bytes (drives Fig. 19).
+    pub working_set_bytes: u64,
+    /// Fraction of the *allocated* footprint rewritten per 32 ms window
+    /// (drives the temperature sensitivity of Fig. 16).
+    pub rewrite_rate_per_window: f64,
+}
+
+impl ContentProfile {
+    /// Remaining (random/incompressible) page fraction.
+    pub fn random_pages(&self) -> f64 {
+        (1.0 - self.zero_pages
+            - self.small_int_pages
+            - self.pointer_pages
+            - self.float_pages
+            - self.text_pages
+            - self.sparse_pages)
+            .max(0.0)
+    }
+
+    /// Upper-bound content estimate of the refresh reduction at 100%
+    /// allocation: zero pages skip all 8 chip-row groups of a block,
+    /// BDI-friendly pages skip 6 of 8 (all but the base and delta
+    /// groups). The *measured* reduction sits a few points lower because
+    /// content-run boundaries break row homogeneity and steady-state
+    /// writes re-refresh the hot set.
+    pub fn expected_reduction(&self) -> f64 {
+        let w = self.effective_fractions();
+        w[0] + 0.75 * (w[1] + w[2])
+    }
+
+    /// Effective (normalized) mixture fractions after the
+    /// [`BDI_CALIBRATION_GAIN`], in the order zero, small-int, pointer,
+    /// float, text, sparse, random.
+    pub fn effective_fractions(&self) -> [f64; 7] {
+        let mut w = [
+            self.zero_pages,
+            self.small_int_pages * BDI_CALIBRATION_GAIN,
+            self.pointer_pages * BDI_CALIBRATION_GAIN,
+            self.float_pages,
+            self.text_pages,
+            self.sparse_pages,
+            self.random_pages(),
+        ];
+        let total: f64 = w.iter().sum();
+        if total > 0.0 {
+            for x in &mut w {
+                *x /= total;
+            }
+        }
+        w
+    }
+
+    /// Builds the page generator realizing this mixture.
+    pub fn page_generator(&self, lines_per_page: usize) -> PageGenerator {
+        let w = self.effective_fractions();
+        PageGenerator::new(
+            vec![
+                (LineClass::Zero, w[0]),
+                (LineClass::SmallIntArray { magnitude: 128 }, w[1]),
+                (LineClass::PointerArray { stride: 16 }, w[2]),
+                (LineClass::FloatArray, w[3]),
+                (LineClass::Text, w[4]),
+                (
+                    LineClass::SparseBytes {
+                        zero_fraction: 0.75,
+                    },
+                    w[5],
+                ),
+                (LineClass::Random, w[6]),
+            ],
+            lines_per_page,
+        )
+    }
+
+    /// Validates that the mixture fractions are sane.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if any fraction is negative or
+    /// the total exceeds one.
+    pub fn validate(&self) -> Result<()> {
+        let parts = [
+            self.zero_pages,
+            self.small_int_pages,
+            self.pointer_pages,
+            self.float_pages,
+            self.text_pages,
+            self.sparse_pages,
+        ];
+        if parts.iter().any(|&p| p < 0.0) {
+            return Err(Error::invalid_config("negative mixture fraction"));
+        }
+        if parts.iter().sum::<f64>() > 1.0 + 1e-9 {
+            return Err(Error::invalid_config("mixture fractions exceed 1"));
+        }
+        if !(0.0..=1.0).contains(&self.write_fraction) {
+            return Err(Error::invalid_config("write fraction out of range"));
+        }
+        Ok(())
+    }
+}
+
+/// The paper's benchmark suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // variant names are the benchmark names themselves
+pub enum Benchmark {
+    // 17 SPEC CPU2006
+    Astar,
+    Bzip2,
+    Gcc,
+    GemsFdtd,
+    Gobmk,
+    H264ref,
+    Hmmer,
+    Lbm,
+    Libquantum,
+    Mcf,
+    Milc,
+    Omnetpp,
+    Perlbench,
+    Sjeng,
+    Sphinx3,
+    Xalancbmk,
+    Zeusmp,
+    // 2 NPB
+    BtC,
+    SpC,
+    // 4 TPC-H
+    TpchQ1,
+    TpchQ6,
+    TpchQ14,
+    TpchQ19,
+}
+
+impl Benchmark {
+    /// Every benchmark, in the paper's suite order (SPEC, NPB, TPC-H).
+    pub fn all() -> &'static [Benchmark] {
+        use Benchmark::*;
+        &[
+            Astar, Bzip2, Gcc, GemsFdtd, Gobmk, H264ref, Hmmer, Lbm, Libquantum, Mcf, Milc,
+            Omnetpp, Perlbench, Sjeng, Sphinx3, Xalancbmk, Zeusmp, BtC, SpC, TpchQ1, TpchQ6,
+            TpchQ14, TpchQ19,
+        ]
+    }
+
+    /// The benchmark's display name (paper spelling).
+    pub fn name(self) -> &'static str {
+        self.profile().name
+    }
+
+    /// Derives a benchmark-specific seed from an experiment seed, so that
+    /// benchmarks sharing one experiment seed still draw independent
+    /// content-run patterns (a shared raw seed would align the rare class
+    /// draws across the whole suite and bias suite means).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use zr_workloads::Benchmark;
+    /// assert_ne!(
+    ///     Benchmark::Mcf.derive_seed(1),
+    ///     Benchmark::Gcc.derive_seed(1)
+    /// );
+    /// ```
+    pub fn derive_seed(self, seed: u64) -> u64 {
+        // FNV-1a over the name, mixed with the experiment seed.
+        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed;
+        for b in self.name().bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
+    /// Looks a benchmark up by display name (case-insensitive).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownName`] if no benchmark matches.
+    pub fn by_name(name: &str) -> Result<Benchmark> {
+        Benchmark::all()
+            .iter()
+            .copied()
+            .find(|b| b.name().eq_ignore_ascii_case(name))
+            .ok_or_else(|| Error::UnknownName {
+                name: name.to_string(),
+            })
+    }
+
+    /// The calibrated profile for this benchmark.
+    ///
+    /// Mixture targets (see the module docs): `expected_reduction()`
+    /// reproduces the Fig. 14 per-benchmark ordering; `mpki` spreads the
+    /// Fig. 17 IPC sensitivity; `working_set_bytes` drives Fig. 19.
+    pub fn profile(self) -> ContentProfile {
+        use Benchmark::*;
+        const GB: u64 = 1 << 30;
+        const MB: u64 = 1 << 20;
+        // Columns: zero, small-int, pointer, float, text, sparse pages;
+        // mpki, write fraction, working set, rewrite rate per window.
+        // Zero-page fractions stay small (Fig. 6: only ~2.3% of touched
+        // 1 KB blocks are zero); the reduction targets of Fig. 14 are
+        // carried by the BDI-friendly small-int/pointer pages.
+        // The mixtures are calibrated so the *measured* reduction (after
+        // content-run boundary losses and steady-state write traffic)
+        // reproduces Fig. 14; `expected_reduction()` is therefore an
+        // upper-bound content estimate, a few points above the measured
+        // value.
+        match self {
+            Astar => p(
+                "astar",
+                0.02,
+                0.325,
+                0.213,
+                0.05,
+                0.08,
+                0.25,
+                6.0,
+                0.30,
+                300 * MB,
+                0.003,
+            ),
+            Bzip2 => p(
+                "bzip2",
+                0.02,
+                0.370,
+                0.246,
+                0.02,
+                0.20,
+                0.13,
+                4.5,
+                0.35,
+                800 * MB,
+                0.005,
+            ),
+            Gcc => p(
+                "gcc",
+                0.03,
+                0.414,
+                0.280,
+                0.02,
+                0.12,
+                0.10,
+                7.0,
+                0.35,
+                900 * MB,
+                0.004,
+            ),
+            GemsFdtd => p(
+                "gemsFDTD",
+                0.04,
+                0.570,
+                0.380,
+                0.00,
+                0.00,
+                0.00,
+                25.0,
+                0.30,
+                3300 * MB,
+                0.002,
+            ),
+            Gobmk => p(
+                "gobmk",
+                0.01,
+                0.224,
+                0.146,
+                0.01,
+                0.12,
+                0.25,
+                0.9,
+                0.25,
+                120 * MB,
+                0.002,
+            ),
+            H264ref => p(
+                "h264ref",
+                0.02,
+                0.302,
+                0.202,
+                0.05,
+                0.08,
+                0.25,
+                2.2,
+                0.30,
+                250 * MB,
+                0.005,
+            ),
+            Hmmer => p(
+                "hmmer",
+                0.02,
+                0.347,
+                0.235,
+                0.02,
+                0.12,
+                0.25,
+                2.8,
+                0.40,
+                120 * MB,
+                0.005,
+            ),
+            Lbm => p(
+                "lbm",
+                0.03,
+                0.470,
+                0.314,
+                0.14,
+                0.00,
+                0.03,
+                22.0,
+                0.45,
+                1600 * MB,
+                0.006,
+            ),
+            Libquantum => p(
+                "libquantum",
+                0.03,
+                0.571,
+                0.381,
+                0.01,
+                0.00,
+                0.00,
+                18.0,
+                0.25,
+                400 * MB,
+                0.003,
+            ),
+            Mcf => p(
+                "mcf",
+                0.03,
+                0.437,
+                0.291,
+                0.01,
+                0.02,
+                0.20,
+                35.0,
+                0.30,
+                1900 * MB,
+                0.004,
+            ),
+            Milc => p(
+                "milc",
+                0.04,
+                0.493,
+                0.325,
+                0.10,
+                0.00,
+                0.02,
+                16.0,
+                0.35,
+                1500 * MB,
+                0.005,
+            ),
+            Omnetpp => p(
+                "omnetpp",
+                0.01,
+                0.146,
+                0.090,
+                0.02,
+                0.20,
+                0.30,
+                12.0,
+                0.35,
+                700 * MB,
+                0.005,
+            ),
+            Perlbench => p(
+                "perlbench",
+                0.01,
+                0.123,
+                0.078,
+                0.01,
+                0.35,
+                0.25,
+                2.0,
+                0.35,
+                600 * MB,
+                0.004,
+            ),
+            Sjeng => p(
+                "sjeng",
+                0.02,
+                0.269,
+                0.179,
+                0.01,
+                0.08,
+                0.30,
+                1.5,
+                0.25,
+                700 * MB,
+                0.002,
+            ),
+            Sphinx3 => p(
+                "sphinx3",
+                0.05,
+                0.560,
+                0.370,
+                0.01,
+                0.00,
+                0.00,
+                14.0,
+                0.20,
+                180 * MB,
+                0.002,
+            ),
+            Xalancbmk => p(
+                "xalancbmk",
+                0.02,
+                0.325,
+                0.213,
+                0.01,
+                0.22,
+                0.18,
+                10.0,
+                0.30,
+                400 * MB,
+                0.004,
+            ),
+            Zeusmp => p(
+                "zeusmp",
+                0.04,
+                0.515,
+                0.347,
+                0.07,
+                0.00,
+                0.02,
+                9.0,
+                0.40,
+                1200 * MB,
+                0.005,
+            ),
+            BtC => p(
+                "bt.C",
+                0.02,
+                0.370,
+                0.246,
+                0.30,
+                0.00,
+                0.04,
+                12.0,
+                0.40,
+                2700 * MB,
+                0.006,
+            ),
+            SpC => p(
+                "sp.C",
+                0.01,
+                0.101,
+                0.067,
+                0.66,
+                0.00,
+                0.15,
+                15.0,
+                0.45,
+                2900 * MB,
+                0.008,
+            ),
+            TpchQ1 => p(
+                "tpch-q1",
+                0.03,
+                0.470,
+                0.314,
+                0.05,
+                0.10,
+                0.03,
+                8.0,
+                0.20,
+                2200 * MB,
+                0.003,
+            ),
+            TpchQ6 => p(
+                "tpch-q6",
+                0.04,
+                0.515,
+                0.347,
+                0.03,
+                0.05,
+                0.01,
+                7.0,
+                0.15,
+                2000 * MB,
+                0.002,
+            ),
+            TpchQ14 => p(
+                "tpch-q14",
+                0.03,
+                0.414,
+                0.280,
+                0.05,
+                0.13,
+                0.08,
+                8.5,
+                0.20,
+                2 * GB,
+                0.003,
+            ),
+            TpchQ19 => p(
+                "tpch-q19",
+                0.03,
+                0.403,
+                0.269,
+                0.05,
+                0.15,
+                0.08,
+                9.0,
+                0.20,
+                2 * GB,
+                0.003,
+            ),
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+const fn p(
+    name: &'static str,
+    zero: f64,
+    small_int: f64,
+    pointer: f64,
+    float: f64,
+    text: f64,
+    sparse: f64,
+    mpki: f64,
+    write_fraction: f64,
+    working_set_bytes: u64,
+    rewrite_rate_per_window: f64,
+) -> ContentProfile {
+    ContentProfile {
+        name,
+        zero_pages: zero,
+        small_int_pages: small_int,
+        pointer_pages: pointer,
+        float_pages: float,
+        text_pages: text,
+        sparse_pages: sparse,
+        mpki,
+        write_fraction,
+        working_set_bytes,
+        rewrite_rate_per_window,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_validate() {
+        for b in Benchmark::all() {
+            b.profile().validate().unwrap_or_else(|e| {
+                panic!("{}: {e}", b.name());
+            });
+        }
+    }
+
+    #[test]
+    fn suite_composition_matches_paper() {
+        let names: Vec<&str> = Benchmark::all().iter().map(|b| b.name()).collect();
+        assert_eq!(names.len(), 23); // 17 SPEC + 2 NPB + 4 TPC-H
+        assert_eq!(names.iter().filter(|n| n.starts_with("tpch")).count(), 4);
+        assert!(names.contains(&"bt.C") && names.contains(&"sp.C"));
+    }
+
+    #[test]
+    fn mean_expected_reduction_bounds_fig14() {
+        // The paper reports 37.1% mean measured reduction at 100%
+        // allocation; the content upper bound sits several points above
+        // it (boundary + write-traffic losses bring the measured value
+        // down to the paper's number — asserted end-to-end in zr-sim).
+        let mean: f64 = Benchmark::all()
+            .iter()
+            .map(|b| b.profile().expected_reduction())
+            .sum::<f64>()
+            / Benchmark::all().len() as f64;
+        assert!(
+            (0.40..0.55).contains(&mean),
+            "mean expected reduction {mean}"
+        );
+    }
+
+    #[test]
+    fn fig14_ordering_extremes() {
+        let r = |n: &str| {
+            Benchmark::by_name(n)
+                .unwrap()
+                .profile()
+                .expected_reduction()
+        };
+        // gemsFDTD and sphinx3 high; omnetpp, perlbench, sp.C low.
+        for hi in ["gemsFDTD", "sphinx3"] {
+            for lo in ["omnetpp", "perlbench", "sp.C"] {
+                assert!(r(hi) > r(lo) + 0.3, "{hi} vs {lo}");
+            }
+        }
+    }
+
+    #[test]
+    fn mcf_working_set_matches_fig19() {
+        // Smart Refresh skips ~47.4% of a 4 GB memory for mcf -> the
+        // touched footprint is ~1.9 GB.
+        let ws = Benchmark::Mcf.profile().working_set_bytes;
+        let frac = ws as f64 / (4u64 << 30) as f64;
+        assert!((frac - 0.474).abs() < 0.02, "fraction {frac}");
+    }
+
+    #[test]
+    fn ipc_sensitivity_extremes() {
+        // gemsFDTD is strongly memory-bound, gobmk is not (Fig. 17).
+        assert!(Benchmark::GemsFdtd.profile().mpki > 20.0);
+        assert!(Benchmark::Gobmk.profile().mpki < 1.0);
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        for b in Benchmark::all() {
+            assert_eq!(Benchmark::by_name(b.name()).unwrap(), *b);
+        }
+        assert!(Benchmark::by_name("GEMSfdtd").is_ok());
+        assert!(Benchmark::by_name("nosuch").is_err());
+    }
+
+    #[test]
+    fn generators_build() {
+        for b in Benchmark::all() {
+            let g = b.profile().page_generator(64);
+            assert_eq!(g.lines_per_page(), 64);
+        }
+    }
+
+    #[test]
+    fn random_fraction_nonnegative() {
+        for b in Benchmark::all() {
+            assert!(b.profile().random_pages() >= 0.0, "{}", b.name());
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Access-trace generation within retention windows.
+//!
+//! Two consumers need per-window traffic:
+//!
+//! - the ZERO-REFRESH experiments need the *writes* that land between two
+//!   refreshes (they dirty access-bit sets and temporarily disable
+//!   skipping — the effect behind the Fig. 16 temperature sensitivity);
+//! - the Smart Refresh baseline needs the set of *rows touched* per
+//!   window (reads recharge rows too) — the Fig. 19 comparison.
+//!
+//! The generator draws from the benchmark's allocated footprint with
+//! page-granular locality: a rewrite picks an allocated page and rewrites
+//! a burst of lines in it with fresh content of the page's own class, the
+//! way an application updates an array in place.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::content::LineClass;
+use crate::profiles::ContentProfile;
+
+/// One write in a trace: a page-relative location plus fresh content.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceWrite {
+    /// Index of the written page within the allocated footprint.
+    pub page: u64,
+    /// Line index within the page.
+    pub line_in_page: usize,
+    /// The new cacheline content.
+    pub data: [u8; 64],
+}
+
+/// Fraction of the allocated footprint that is write-hot. Applications
+/// concentrate their stores: the rest of the image is read-mostly or
+/// cold, which is what lets most AR sets keep their discharged status
+/// across windows.
+pub const HOT_SET_FRACTION: f64 = 0.50;
+
+/// Per-window traffic generator for one benchmark instance.
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    profile: ContentProfile,
+    rng: StdRng,
+    allocated_pages: u64,
+    lines_per_page: usize,
+    page_classes: Vec<LineClass>,
+    hot_start: u64,
+    hot_len: u64,
+}
+
+impl TraceGenerator {
+    /// Builds a generator over `allocated_pages` pages whose classes are
+    /// `page_classes` (as produced when the image was populated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_classes` does not cover `allocated_pages`.
+    pub fn new(
+        profile: ContentProfile,
+        page_classes: Vec<LineClass>,
+        lines_per_page: usize,
+        seed: u64,
+    ) -> Self {
+        let allocated_pages = page_classes.len() as u64;
+        let mut rng = StdRng::seed_from_u64(seed);
+        // The write-hot set is a contiguous slice of the footprint (a hot
+        // region, not scattered pages), placed at a seeded offset.
+        let hot_len = ((allocated_pages as f64 * HOT_SET_FRACTION).ceil() as u64)
+            .clamp(u64::from(allocated_pages > 0), allocated_pages);
+        let hot_start = if allocated_pages > hot_len {
+            rng.gen_range(0..allocated_pages - hot_len)
+        } else {
+            0
+        };
+        TraceGenerator {
+            profile,
+            rng,
+            allocated_pages,
+            lines_per_page,
+            page_classes,
+            hot_start,
+            hot_len,
+        }
+    }
+
+    /// The contiguous write-hot page range `[start, start + len)`.
+    pub fn hot_range(&self) -> (u64, u64) {
+        (self.hot_start, self.hot_len)
+    }
+
+    /// Number of allocated pages the generator draws from.
+    pub fn allocated_pages(&self) -> u64 {
+        self.allocated_pages
+    }
+
+    /// Lines rewritten in one window of `window_scale` retention units
+    /// (1.0 for 32 ms, 2.0 for 64 ms — twice the wall-clock, twice the
+    /// writes).
+    pub fn writes_per_window(&self, window_scale: f64) -> u64 {
+        let lines = self.allocated_pages as f64
+            * self.lines_per_page as f64
+            * self.profile.rewrite_rate_per_window
+            * window_scale;
+        lines.round() as u64
+    }
+
+    /// Generates the writes of one window. Writes burst within pages
+    /// (16 consecutive lines per touched page) to model in-place array
+    /// updates.
+    pub fn window_writes(&mut self, window_scale: f64) -> Vec<TraceWrite> {
+        let total = self.writes_per_window(window_scale);
+        let mut out = Vec::with_capacity(total as usize);
+        if self.allocated_pages == 0 {
+            return out;
+        }
+        const BURST: usize = 16;
+        while (out.len() as u64) < total {
+            let page = self.hot_start + self.rng.gen_range(0..self.hot_len);
+            let class = self.page_classes[page as usize];
+            let start = self
+                .rng
+                .gen_range(0..self.lines_per_page.saturating_sub(BURST).max(1));
+            for i in 0..BURST.min(self.lines_per_page) {
+                if out.len() as u64 == total {
+                    break;
+                }
+                out.push(TraceWrite {
+                    page,
+                    line_in_page: start + i,
+                    data: class.generate_line(&mut self.rng),
+                });
+            }
+        }
+        out
+    }
+
+    /// The distinct rank-row-sized pages touched (read or written) in one
+    /// window, for the Smart Refresh baseline: the touched footprint is
+    /// `min(working_set, capacity)` spread uniformly over the memory.
+    ///
+    /// Returns page indices within `capacity_pages`.
+    pub fn window_touched_pages(&mut self, capacity_pages: u64, page_bytes: u64) -> Vec<u64> {
+        let ws_pages = (self.profile.working_set_bytes / page_bytes).min(capacity_pages);
+        // Deterministic spread: the working set is resident, so the same
+        // pages are touched every window; sample without replacement via
+        // a stride permutation.
+        let stride = (capacity_pages / ws_pages.max(1)).max(1);
+        (0..ws_pages)
+            .map(|i| (i * stride) % capacity_pages)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::Benchmark;
+
+    fn generator(n_pages: usize) -> TraceGenerator {
+        let profile = Benchmark::Mcf.profile();
+        let classes = vec![LineClass::PointerArray { stride: 16 }; n_pages];
+        TraceGenerator::new(profile, classes, 64, 7)
+    }
+
+    #[test]
+    fn write_volume_scales_with_window() {
+        let g = generator(100);
+        let w32 = g.writes_per_window(1.0);
+        let w64 = g.writes_per_window(2.0);
+        // Doubling the window doubles the volume (up to rounding).
+        assert!((w64 as i64 - 2 * w32 as i64).abs() <= 1, "{w32} vs {w64}");
+        let rate = Benchmark::Mcf.profile().rewrite_rate_per_window;
+        assert_eq!(w32, (100.0f64 * 64.0 * rate).round() as u64);
+    }
+
+    #[test]
+    fn writes_stay_in_the_hot_set() {
+        let mut g = generator(200);
+        let (start, len) = g.hot_range();
+        assert_eq!(len, (200.0 * HOT_SET_FRACTION).ceil() as u64);
+        for w in g.window_writes(1.0) {
+            assert!(w.page >= start && w.page < start + len);
+        }
+    }
+
+    #[test]
+    fn writes_are_in_range_and_deterministic() {
+        let mut g1 = generator(50);
+        let mut g2 = generator(50);
+        let w1 = g1.window_writes(1.0);
+        let w2 = g2.window_writes(1.0);
+        assert_eq!(w1, w2, "same seed, same trace");
+        assert!(!w1.is_empty());
+        for w in &w1 {
+            assert!(w.page < 50);
+            assert!(w.line_in_page < 64);
+        }
+    }
+
+    #[test]
+    fn writes_respect_page_class() {
+        let mut g = generator(10);
+        for w in g.window_writes(1.0) {
+            // Pointer-array lines: words ascend from a large base.
+            let words: Vec<u64> = w
+                .data
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            assert!(words[0] > 0x10000);
+            assert!(words[7] > words[0]);
+        }
+    }
+
+    #[test]
+    fn empty_footprint_generates_nothing() {
+        let profile = Benchmark::Gobmk.profile();
+        let mut g = TraceGenerator::new(profile, vec![], 64, 1);
+        assert!(g.window_writes(1.0).is_empty());
+    }
+
+    #[test]
+    fn touched_pages_track_working_set() {
+        let mut g = generator(100);
+        // mcf: 1.9 GB working set. With 4 GB capacity (1 Mi pages of
+        // 4 KiB), ~47% of pages are touched.
+        let capacity_pages = (4u64 << 30) / 4096;
+        let touched = g.window_touched_pages(capacity_pages, 4096);
+        let frac = touched.len() as f64 / capacity_pages as f64;
+        assert!((frac - 0.474).abs() < 0.02, "fraction {frac}");
+        // With 32 GB capacity the same working set is a small fraction.
+        let capacity_pages = (32u64 << 30) / 4096;
+        let touched = g.window_touched_pages(capacity_pages, 4096);
+        let frac = touched.len() as f64 / capacity_pages as f64;
+        assert!(frac < 0.07, "fraction {frac}");
+    }
+
+    #[test]
+    fn touched_pages_are_distinct_and_in_range() {
+        let mut g = generator(10);
+        let touched = g.window_touched_pages(1000, 4096);
+        let mut sorted = touched.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), touched.len(), "duplicates found");
+        assert!(touched.iter().all(|&p| p < 1000));
+    }
+
+    #[test]
+    fn working_set_larger_than_capacity_saturates() {
+        let mut g = generator(10);
+        let touched = g.window_touched_pages(100, 4096);
+        assert_eq!(touched.len(), 100);
+    }
+}

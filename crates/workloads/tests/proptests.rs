@@ -1,0 +1,85 @@
+//! Property tests for the workload models.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use zr_workloads::content::{zero_byte_fraction, LineClass};
+use zr_workloads::image::region_classes;
+use zr_workloads::trace::TraceGenerator;
+use zr_workloads::{Benchmark, DatacenterTrace};
+
+fn arb_benchmark() -> impl Strategy<Value = Benchmark> {
+    (0..Benchmark::all().len()).prop_map(|i| Benchmark::all()[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_profile_generates_valid_regions(b in arb_benchmark(), n in 0u64..2000, seed in any::<u64>()) {
+        let classes = region_classes(&b.profile(), n, seed);
+        prop_assert_eq!(classes.len() as u64, n);
+    }
+
+    #[test]
+    fn generated_lines_have_class_consistent_zero_content(
+        b in arb_benchmark(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let profile = b.profile();
+        let gen = profile.page_generator(32);
+        let (class, lines) = gen.generate_page(&mut rng);
+        let bytes: Vec<u8> = lines.iter().flatten().copied().collect();
+        let zf = zero_byte_fraction(&bytes);
+        match class {
+            LineClass::Zero => prop_assert_eq!(zf, 1.0),
+            LineClass::Text => prop_assert_eq!(zf, 0.0),
+            LineClass::SmallIntArray { .. } => prop_assert!(zf > 0.5),
+            _ => {}
+        }
+    }
+
+    #[test]
+    fn trace_writes_never_leave_the_footprint(
+        b in arb_benchmark(),
+        n_pages in 1usize..200,
+        seed in any::<u64>(),
+    ) {
+        let classes = vec![LineClass::Random; n_pages];
+        let mut tg = TraceGenerator::new(b.profile(), classes, 32, seed);
+        for w in tg.window_writes(1.0) {
+            prop_assert!(w.page < n_pages as u64);
+            prop_assert!(w.line_in_page < 32);
+        }
+    }
+
+    #[test]
+    fn trace_touched_pages_bounded_by_capacity(
+        b in arb_benchmark(),
+        cap_pages in 1u64..100_000,
+        seed in any::<u64>(),
+    ) {
+        let mut tg = TraceGenerator::new(b.profile(), Vec::new(), 64, seed);
+        let touched = tg.window_touched_pages(cap_pages, 4096);
+        prop_assert!(touched.len() as u64 <= cap_pages);
+        prop_assert!(touched.iter().all(|&p| p < cap_pages));
+    }
+
+    #[test]
+    fn trace_quantiles_are_monotone_probabilities(q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        for t in DatacenterTrace::all() {
+            let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+            prop_assert!(t.quantile(lo) <= t.quantile(hi) + 1e-12);
+            prop_assert!((0.0..=1.0).contains(&t.quantile(q1)));
+        }
+    }
+
+    #[test]
+    fn derived_seeds_are_distinct_across_the_suite(seed in any::<u64>()) {
+        let mut seen = std::collections::HashSet::new();
+        for b in Benchmark::all() {
+            prop_assert!(seen.insert(b.derive_seed(seed)), "collision for {}", b.name());
+        }
+    }
+}

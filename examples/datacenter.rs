@@ -1,0 +1,74 @@
+//! Data-center scenario exploration: how much refresh does ZERO-REFRESH
+//! eliminate under the memory-utilization statistics of the three traces
+//! the paper analyzes (Google, Alibaba, Bitbrains)?
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example datacenter [trace]
+//! ```
+//!
+//! With a trace name (`google`, `alibaba`, `bitbrains`) the example sweeps
+//! several utilization quantiles of that trace; without one it prints the
+//! Table I summary for all three.
+
+use zr_sim::experiments::{refresh, ExperimentConfig};
+use zr_workloads::{Benchmark, DatacenterTrace};
+
+fn main() -> Result<(), zero_refresh::Error> {
+    let exp = ExperimentConfig {
+        capacity_bytes: 16 << 20,
+        windows: 2,
+        ..ExperimentConfig::default()
+    };
+    // A representative sample of the suite keeps the example fast.
+    let sample = [
+        Benchmark::GemsFdtd,
+        Benchmark::Mcf,
+        Benchmark::Gcc,
+        Benchmark::Omnetpp,
+        Benchmark::TpchQ6,
+    ];
+
+    let mean_reduction = |alloc: f64| -> Result<f64, zero_refresh::Error> {
+        let mut sum = 0.0;
+        for &b in &sample {
+            sum += 1.0 - refresh::measure(b, alloc, &exp)?.normalized;
+        }
+        Ok(sum / sample.len() as f64)
+    };
+
+    match std::env::args().nth(1) {
+        Some(name) => {
+            let trace = DatacenterTrace::by_name(&name)?;
+            println!(
+                "trace {} (mean allocated {:.0}%): reduction across utilization quantiles",
+                trace.name(),
+                100.0 * trace.mean_utilization()
+            );
+            println!("{:>9} {:>12} {:>12}", "quantile", "allocated", "reduction");
+            for q in [0.1, 0.25, 0.5, 0.75, 0.9] {
+                let alloc = trace.quantile(q);
+                let red = mean_reduction(alloc)?;
+                println!("{q:>9.2} {alloc:>11.1}% {:>11.1}%", 100.0 * red);
+            }
+        }
+        None => {
+            println!("suite-sample refresh reduction at each trace's mean utilization\n");
+            println!("{:<12} {:>12} {:>12}", "trace", "allocated", "reduction");
+            for trace in DatacenterTrace::all() {
+                let alloc = trace.mean_utilization();
+                let red = mean_reduction(alloc)?;
+                println!(
+                    "{:<12} {:>11.1}% {:>11.1}%",
+                    trace.name(),
+                    100.0 * alloc,
+                    100.0 * red
+                );
+            }
+            println!("\n(paper: 46% / 57% / 83% for alibaba / google / bitbrains)");
+            println!("pass a trace name for a quantile sweep: google | alibaba | bitbrains");
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,89 @@
+//! Refresh what-if explorer: measure one benchmark under a configuration
+//! you pick on the command line, with the full energy breakdown.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example refresh_explorer -- \
+//!     [benchmark] [alloc%] [row_bytes] [normal|extended]
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! cargo run --release --example refresh_explorer -- mcf 70 4096 extended
+//! cargo run --release --example refresh_explorer -- gemsFDTD 100 2048 normal
+//! ```
+
+use zr_sim::experiments::{energy, refresh, ExperimentConfig};
+use zr_types::TemperatureMode;
+use zr_workloads::Benchmark;
+
+fn main() -> Result<(), zero_refresh::Error> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let benchmark = match args.first() {
+        Some(name) => Benchmark::by_name(name)?,
+        None => Benchmark::Mcf,
+    };
+    let alloc = args
+        .get(1)
+        .and_then(|v| v.parse::<f64>().ok())
+        .map(|pct| pct / 100.0)
+        .unwrap_or(1.0)
+        .clamp(0.0, 1.0);
+    let row_bytes = args
+        .get(2)
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(4096);
+    let temperature = match args.get(3).map(String::as_str) {
+        Some("normal") => TemperatureMode::Normal,
+        _ => TemperatureMode::Extended,
+    };
+
+    let exp = ExperimentConfig {
+        capacity_bytes: 16 << 20,
+        windows: 4,
+        row_bytes,
+        temperature,
+        ..ExperimentConfig::default()
+    };
+
+    println!(
+        "benchmark {}  |  {:.0}% allocated  |  {} B rows  |  tRET {} ms",
+        benchmark.name(),
+        100.0 * alloc,
+        row_bytes,
+        exp.temperature.t_ret().to_millis(),
+    );
+    let profile = benchmark.profile();
+    println!(
+        "content: {:.0}% zero, {:.0}% small-int, {:.0}% pointer pages (effective); {:.1} MPKI",
+        100.0 * profile.effective_fractions()[0],
+        100.0 * profile.effective_fractions()[1],
+        100.0 * profile.effective_fractions()[2],
+        profile.mpki,
+    );
+
+    let m = refresh::measure(benchmark, alloc, &exp)?;
+    let e = energy::measure(benchmark, alloc, &exp)?;
+    println!();
+    println!(
+        "refresh operations: {:>10} performed, {:>10} skipped",
+        m.stats.rows_refreshed, m.stats.rows_skipped
+    );
+    println!(
+        "normalized refresh: {:.3}  ({:.1}% reduction vs conventional)",
+        m.normalized,
+        100.0 * (1.0 - m.normalized)
+    );
+    println!(
+        "normalized energy:  {:.3}  ({:.1}% saved, overheads included)",
+        e.normalized_energy,
+        100.0 * (1.0 - e.normalized_energy)
+    );
+    println!(
+        "status-table traffic: {} batched reads, {} batched writes",
+        m.stats.table_reads, m.stats.table_writes
+    );
+    Ok(())
+}

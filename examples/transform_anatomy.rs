@@ -1,0 +1,95 @@
+//! Anatomy of the value transformation: walk one cacheline through the
+//! EBDI, bit-plane, cell-encoding and rotation stages and show the bytes
+//! after each step — Fig. 9(a)/(b) of the paper, live.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example transform_anatomy
+//! ```
+
+use zr_transform::{bitplane, ebdi, rotation};
+use zr_types::geometry::RowIndex;
+use zr_types::{CachelineConfig, CellType, SystemConfig};
+
+fn dump(label: &str, line: &[u8]) {
+    println!("{label}");
+    for (w, chunk) in line.chunks_exact(8).enumerate() {
+        print!("  w{w}: ");
+        for b in chunk {
+            print!("{b:02x} ");
+        }
+        let zeros = chunk.iter().filter(|&&b| b == 0).count();
+        println!("  ({zeros}/8 zero bytes)");
+    }
+    let zeros = line.iter().filter(|&&b| b == 0).count();
+    println!("  total zero bytes: {zeros}/64\n");
+}
+
+fn main() -> Result<(), zero_refresh::Error> {
+    let cfg = SystemConfig::paper_default();
+    let line_cfg = CachelineConfig::paper_default();
+
+    // A pointer array, the bread-and-butter BDI case: one large base,
+    // small increments.
+    let mut line = [0u8; 64];
+    for (i, w) in line.chunks_exact_mut(8).enumerate() {
+        let v = 0x0000_7f3a_9c40_1000u64 + 24 * i as u64;
+        w.copy_from_slice(&v.to_le_bytes());
+    }
+    dump("original cacheline (8-byte pointers, stride 24):", &line);
+
+    // Stage 1: EBDI — word 0 stays as the base, the rest become encoded
+    // deltas (Fig. 10/11).
+    ebdi::encode_in_place(&mut line, &line_cfg)?;
+    dump("after EBDI (base + sign-free deltas):", &line);
+
+    // Stage 2: bit-plane transposition — the deltas' zero high bits
+    // coalesce; only the base word and the final delta word stay non-zero
+    // (Fig. 12).
+    bitplane::transpose_in_place(&mut line, &line_cfg)?;
+    dump("after bit-plane transposition:", &line);
+
+    // Stage 3: cell-type encoding — in an anti-cell row the whole image
+    // is complemented so zero bits are stored discharged (Fig. 11c).
+    let row = RowIndex(603); // row 603 is an anti-cell row (block 1), rotation shift 3
+    assert_eq!(CellType::of_row_index(row, &cfg.dram), CellType::Anti);
+    for b in line.iter_mut() {
+        *b = !*b;
+    }
+    println!(
+        "after anti-cell complement (row {}, {:?} cells): 0xff bytes are DISCHARGED here\n",
+        row.0,
+        CellType::of_row_index(row, &cfg.dram)
+    );
+
+    // Stage 4: rotation — segments map to chips shifted by the row index,
+    // so base words of a row block gather in one refresh group (Fig. 9b).
+    rotation::rotate_in_place(&mut line, row, cfg.dram.num_chips)?;
+    dump("after rotation (chip-major layout):", &line);
+    for chip in 0..cfg.dram.num_chips {
+        let seg = rotation::segment_of_chip(chip, row, cfg.dram.num_chips);
+        let bytes = rotation::chip_slice(&line, chip, cfg.dram.num_chips)?;
+        let discharged = bytes.iter().all(|&b| b == 0xFF);
+        println!(
+            "  chip {chip}: holds word {seg} {}",
+            if discharged {
+                "- fully discharged, refresh skippable"
+            } else {
+                "- charged"
+            }
+        );
+    }
+
+    // And back: the exact inverse restores the original pointers.
+    rotation::unrotate_in_place(&mut line, row, cfg.dram.num_chips)?;
+    for b in line.iter_mut() {
+        *b = !*b;
+    }
+    bitplane::untranspose_in_place(&mut line, &line_cfg)?;
+    ebdi::decode_in_place(&mut line, &line_cfg)?;
+    let first = u64::from_le_bytes(line[..8].try_into().unwrap());
+    assert_eq!(first, 0x0000_7f3a_9c40_1000);
+    println!("\ninverse pipeline restored the original pointers — lossless.");
+    Ok(())
+}

@@ -1,0 +1,271 @@
+//! `zr` — command-line front end to the ZERO-REFRESH reproduction.
+//!
+//! ```text
+//! zr info [capacity_mb]          geometry + config summary
+//! zr benchmarks                  the modeled workload suite
+//! zr traces                      the data-center trace models
+//! zr transform <preset> [row]    walk one cacheline through the pipeline
+//! zr measure <bench> [alloc%] [row_bytes] [normal|extended]
+//! zr compare <bench> [alloc%]    ZERO-REFRESH vs prior work
+//! ```
+
+use zero_refresh_suite::prelude::*;
+use zr_sim::experiments::{energy, priorwork, refresh};
+use zr_transform::ValueTransformer;
+use zr_types::geometry::RowIndex;
+use zr_types::TemperatureMode;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("info") => info(args.get(1)),
+        Some("benchmarks") => benchmarks(),
+        Some("traces") => traces(),
+        Some("transform") => transform(args.get(1), args.get(2)),
+        Some("measure") => measure(&args[1..]),
+        Some("compare") => compare(&args[1..]),
+        _ => {
+            usage();
+            Ok(())
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn usage() {
+    println!("zr — ZERO-REFRESH (HPCA 2020) reproduction");
+    println!();
+    println!("  zr info [capacity_mb]          geometry + config summary");
+    println!("  zr benchmarks                  the modeled workload suite");
+    println!("  zr traces                      the data-center trace models");
+    println!("  zr transform <preset> [row]    presets: pointer smallint zero text random");
+    println!("  zr measure <bench> [alloc%] [row_bytes] [normal|extended]");
+    println!("  zr compare <bench> [alloc%]    ZERO-REFRESH vs prior work");
+}
+
+fn experiment(alloc_unused: Option<&String>) -> ExperimentConfig {
+    let _ = alloc_unused;
+    ExperimentConfig {
+        capacity_bytes: 16 << 20,
+        windows: 4,
+        ..ExperimentConfig::default()
+    }
+}
+
+fn info(capacity_mb: Option<&String>) -> Result<(), Error> {
+    let mut cfg = SystemConfig::paper_default();
+    if let Some(mb) = capacity_mb.and_then(|v| v.parse::<u64>().ok()) {
+        cfg.dram.capacity_bytes = mb << 20;
+    }
+    cfg.validate()?;
+    let geom = cfg.geometry();
+    println!("ZERO-REFRESH system configuration (Table II, scaled)");
+    println!("  capacity:        {} MiB", geom.capacity_bytes() >> 20);
+    println!(
+        "  organization:    {} chips x {} banks, {} B rank rows",
+        geom.num_chips(),
+        geom.num_banks(),
+        geom.row_bytes()
+    );
+    println!(
+        "  rows/bank:       {} ({} per AR set, {} sets)",
+        geom.rows_per_bank(),
+        geom.ar_rows(),
+        geom.ar_sets_per_bank()
+    );
+    println!(
+        "  cell blocks:     {} rows per true/anti block",
+        cfg.dram.cell_block_rows
+    );
+    println!(
+        "  retention:       {} ms ({:?}), tREFI {:.2} us",
+        cfg.timing.t_ret().to_millis(),
+        cfg.timing.temperature,
+        cfg.timing.t_refi().0 / 1000.0
+    );
+    println!(
+        "  access-bit SRAM: {} bytes ({} bits)",
+        geom.access_bit_count().div_ceil(8),
+        geom.access_bit_count()
+    );
+    Ok(())
+}
+
+fn benchmarks() -> Result<(), Error> {
+    println!(
+        "{:<12} {:>7} {:>7} {:>7} {:>9} {:>8}",
+        "benchmark", "mpki", "writes", "ws(MB)", "bdi-frac", "exp.red"
+    );
+    for b in Benchmark::all() {
+        let p = b.profile();
+        let w = p.effective_fractions();
+        println!(
+            "{:<12} {:>7.1} {:>6.0}% {:>7} {:>8.0}% {:>7.0}%",
+            p.name,
+            p.mpki,
+            100.0 * p.write_fraction,
+            p.working_set_bytes >> 20,
+            100.0 * (w[1] + w[2]),
+            100.0 * p.expected_reduction(),
+        );
+    }
+    Ok(())
+}
+
+fn traces() -> Result<(), Error> {
+    println!(
+        "{:<12} {:>10} {:>8} {:>8} {:>8}",
+        "trace", "mean", "p10", "p50", "p90"
+    );
+    for t in DatacenterTrace::all() {
+        println!(
+            "{:<12} {:>9.1}% {:>7.1}% {:>7.1}% {:>7.1}%",
+            t.name(),
+            100.0 * t.mean_utilization(),
+            100.0 * t.quantile(0.1),
+            100.0 * t.quantile(0.5),
+            100.0 * t.quantile(0.9),
+        );
+    }
+    Ok(())
+}
+
+fn preset_line(preset: &str) -> Result<[u8; 64], Error> {
+    let mut line = [0u8; 64];
+    match preset {
+        "zero" => {}
+        "pointer" => {
+            for (i, w) in line.chunks_exact_mut(8).enumerate() {
+                w.copy_from_slice(&(0x0000_7f12_3456_0000u64 + 24 * i as u64).to_le_bytes());
+            }
+        }
+        "smallint" => {
+            for (i, w) in line.chunks_exact_mut(8).enumerate() {
+                w.copy_from_slice(&((i as u64 * 3) % 100).to_le_bytes());
+            }
+        }
+        "text" => {
+            line.copy_from_slice(
+                b"the quick brown fox jumps over the lazy dog; dram refresh sleep",
+            );
+        }
+        "random" => {
+            let mut s = 0x1234_5678u64;
+            for b in line.iter_mut() {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                *b = (s >> 56) as u8;
+            }
+        }
+        other => {
+            return Err(Error::UnknownName {
+                name: other.to_string(),
+            })
+        }
+    }
+    Ok(line)
+}
+
+fn transform(preset: Option<&String>, row: Option<&String>) -> Result<(), Error> {
+    let preset = preset.map(String::as_str).unwrap_or("pointer");
+    let row = RowIndex(row.and_then(|v| v.parse().ok()).unwrap_or(0));
+    let cfg = SystemConfig::paper_default();
+    let tf = ValueTransformer::new(&cfg)?;
+    let line = preset_line(preset)?;
+    let encoded = tf.encode(&line, row)?;
+    let zeros_before = line.iter().filter(|&&b| b == 0).count();
+    let pattern = tf.cell_type(row).discharged_byte();
+    let discharged = encoded.iter().filter(|&&b| b == pattern).count();
+    println!(
+        "preset '{preset}' stored in row {} ({:?} cells):",
+        row.0,
+        tf.cell_type(row)
+    );
+    println!("  original  zero bytes: {zeros_before}/64");
+    println!("  encoded   discharged bytes: {discharged}/64");
+    for (c, seg) in encoded.chunks_exact(8).enumerate() {
+        let disch = seg.iter().all(|&b| b == pattern);
+        print!("  chip {c}: ");
+        for b in seg {
+            print!("{b:02x} ");
+        }
+        println!("{}", if disch { " <- discharged" } else { "" });
+    }
+    let back = tf.decode(&encoded, row)?;
+    assert_eq!(back, line.to_vec());
+    println!("  inverse verified: decode(encode(x)) == x");
+    Ok(())
+}
+
+fn parse_measure_args(args: &[String]) -> Result<(Benchmark, f64, usize, TemperatureMode), Error> {
+    let benchmark = match args.first() {
+        Some(name) => Benchmark::by_name(name)?,
+        None => Benchmark::Mcf,
+    };
+    let alloc = args
+        .get(1)
+        .and_then(|v| v.parse::<f64>().ok())
+        .map(|p| p / 100.0)
+        .unwrap_or(1.0)
+        .clamp(0.0, 1.0);
+    let row_bytes = args.get(2).and_then(|v| v.parse().ok()).unwrap_or(4096);
+    let temp = match args.get(3).map(String::as_str) {
+        Some("normal") => TemperatureMode::Normal,
+        _ => TemperatureMode::Extended,
+    };
+    Ok((benchmark, alloc, row_bytes, temp))
+}
+
+fn measure(args: &[String]) -> Result<(), Error> {
+    let (benchmark, alloc, row_bytes, temperature) = parse_measure_args(args)?;
+    let exp = ExperimentConfig {
+        row_bytes,
+        temperature,
+        ..experiment(None)
+    };
+    let m = refresh::measure(benchmark, alloc, &exp)?;
+    let e = energy::measure(benchmark, alloc, &exp)?;
+    println!(
+        "{} @ {:.0}% alloc, {} B rows, {:?}:",
+        benchmark.name(),
+        100.0 * alloc,
+        row_bytes,
+        temperature
+    );
+    println!(
+        "  refresh ops:  {:.3} normalized ({:.1}% reduction)",
+        m.normalized,
+        100.0 * (1.0 - m.normalized)
+    );
+    println!(
+        "  energy:       {:.3} normalized ({:.1}% saved, overheads included)",
+        e.normalized_energy,
+        100.0 * (1.0 - e.normalized_energy)
+    );
+    Ok(())
+}
+
+fn compare(args: &[String]) -> Result<(), Error> {
+    let (benchmark, alloc, _, _) = parse_measure_args(args)?;
+    let exp = experiment(None);
+    let c = priorwork::compare(benchmark, alloc, &exp)?;
+    println!(
+        "{} @ {:.0}% alloc — normalized refresh operations:",
+        c.benchmark,
+        100.0 * alloc
+    );
+    println!("  zero-refresh:    {:.3}", c.zero_refresh);
+    println!(
+        "  zib:             {:.3}  (+{:.1}% DRAM capacity overhead)",
+        c.zib,
+        100.0 * c.zib_overhead
+    );
+    println!(
+        "  validity oracle: {:.3}  (needs OS-DRAM interface)",
+        c.validity_oracle
+    );
+    println!("  smart refresh:   {:.3}  (at 32 GB)", c.smart_refresh);
+    Ok(())
+}

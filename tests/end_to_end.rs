@@ -1,0 +1,176 @@
+//! Cross-crate integration tests: the full pipeline from workload content
+//! through the transforming controller into the DRAM model and the
+//! refresh engine, with energy accounting on top.
+
+use zero_refresh::{RefreshPolicy, SystemConfig, ZeroRefreshSystem};
+use zr_sim::experiments::{population, refresh, ExperimentConfig};
+use zr_types::geometry::LineAddr;
+use zr_workloads::image::LINES_PER_REGION;
+use zr_workloads::trace::TraceGenerator;
+use zr_workloads::Benchmark;
+
+fn tiny() -> ExperimentConfig {
+    ExperimentConfig::tiny_test()
+}
+
+#[test]
+fn populated_image_survives_many_windows_with_traffic() {
+    // The strongest end-to-end invariant: whatever the refresh engine
+    // skips, every byte the application wrote must read back intact.
+    let exp = tiny();
+    let mut ps =
+        population::build_system(Benchmark::Mcf, 0.8, RefreshPolicy::ChargeAware, &exp).unwrap();
+    let mut trace = TraceGenerator::new(
+        Benchmark::Mcf.profile(),
+        ps.region_classes.clone(),
+        LINES_PER_REGION,
+        1,
+    );
+    // Track a shadow copy of everything we write.
+    let mut shadow: std::collections::HashMap<u64, [u8; 64]> = std::collections::HashMap::new();
+    for _ in 0..4 {
+        for w in trace.window_writes(1.0) {
+            let addr = w.page * LINES_PER_REGION as u64 + w.line_in_page as u64;
+            ps.system.write_line(LineAddr(addr), &w.data).unwrap();
+            shadow.insert(addr, w.data);
+        }
+        ps.system.run_refresh_window();
+    }
+    for (addr, data) in &shadow {
+        assert_eq!(
+            ps.system.read_line(LineAddr(*addr)).unwrap(),
+            data.to_vec(),
+            "line {addr} corrupted"
+        );
+    }
+    assert!(!shadow.is_empty());
+}
+
+#[test]
+fn os_zeroing_alone_eliminates_refreshes() {
+    // §III-B: zero-filled deallocated pages stop being refreshed with no
+    // OS-DRAM interface — pure value behaviour.
+    let cfg = SystemConfig::small_test();
+    let mut sys = ZeroRefreshSystem::new(&cfg).unwrap();
+    // An application dirties all of memory with high-entropy content
+    // (every chip segment of every row ends up charged)...
+    let total = sys.geometry().total_lines();
+    let mut state = 0x1234_5678_9ABC_DEF0u64;
+    for a in 0..total {
+        let mut line = [0u8; 64];
+        for b in line.iter_mut() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            *b = (state >> 56) as u8;
+        }
+        sys.write_line(LineAddr(a), &line).unwrap();
+    }
+    sys.run_refresh_window();
+    let dirty = sys.run_refresh_window();
+    assert_eq!(dirty.rows_skipped, 0, "hostile content must not skip");
+    // ...then exits, and the OS cleanses its pages with ordinary writes.
+    sys.zero_fill_lines(LineAddr(0), total).unwrap();
+    sys.run_refresh_window(); // scan
+    let clean = sys.run_refresh_window();
+    assert_eq!(clean.skip_fraction(), 1.0);
+}
+
+#[test]
+fn all_three_policies_preserve_data() {
+    for policy in [
+        RefreshPolicy::Conventional,
+        RefreshPolicy::ChargeAware,
+        RefreshPolicy::NaiveSram,
+    ] {
+        let cfg = SystemConfig::small_test();
+        let mut sys = ZeroRefreshSystem::with_policy(&cfg, policy).unwrap();
+        let lines: Vec<(u64, [u8; 64])> = (0..200u64)
+            .map(|i| {
+                let mut l = [0u8; 64];
+                for (j, b) in l.iter_mut().enumerate() {
+                    *b = (i as u8).wrapping_mul(31).wrapping_add(j as u8);
+                }
+                (i * 7, l)
+            })
+            .collect();
+        for (a, l) in &lines {
+            sys.write_line(LineAddr(*a), l).unwrap();
+        }
+        for _ in 0..3 {
+            sys.run_refresh_window();
+        }
+        for (a, l) in &lines {
+            assert_eq!(
+                sys.read_line(LineAddr(*a)).unwrap(),
+                l.to_vec(),
+                "{policy:?} corrupted line {a}"
+            );
+        }
+    }
+}
+
+#[test]
+fn charge_aware_skips_at_least_idle_fraction() {
+    // With alloc fraction f, at least (1 - f) of the memory is cleansed
+    // and must be skipped in steady state.
+    let exp = tiny();
+    for alloc in [0.25, 0.5, 0.75] {
+        let m = refresh::measure(Benchmark::SpC, alloc, &exp).unwrap();
+        assert!(
+            m.normalized <= alloc + 0.02,
+            "alloc {alloc}: normalized {} exceeds allocated fraction",
+            m.normalized
+        );
+    }
+}
+
+#[test]
+fn benchmark_content_ordering_is_stable_end_to_end() {
+    // Orderings that define the Fig. 14 shape must survive the full
+    // pipeline, not just the content model.
+    let exp = tiny();
+    let n = |b: Benchmark| refresh::measure(b, 1.0, &exp).unwrap().normalized;
+    let gems = n(Benchmark::GemsFdtd);
+    let sphinx = n(Benchmark::Sphinx3);
+    let omnetpp = n(Benchmark::Omnetpp);
+    let spc = n(Benchmark::SpC);
+    assert!(gems < omnetpp && gems < spc);
+    assert!(sphinx < omnetpp && sphinx < spc);
+}
+
+#[test]
+fn energy_normalization_is_consistent_with_refresh_normalization() {
+    let exp = tiny();
+    let e = zr_sim::experiments::energy::measure(Benchmark::Gcc, 1.0, &exp).unwrap();
+    // Energy includes overheads, so it can only sit above the pure
+    // operation count, within a bounded overhead.
+    assert!(e.normalized_energy >= e.normalized_refreshes - 1e-9);
+    assert!(e.normalized_energy <= e.normalized_refreshes + 0.2);
+}
+
+#[test]
+fn spared_row_is_never_skipped_through_the_full_stack() {
+    let cfg = SystemConfig::small_test();
+    let mut sys = ZeroRefreshSystem::new(&cfg).unwrap();
+    sys.controller_mut().rank_mut().add_spared_row(
+        zr_types::geometry::BankId(0),
+        zr_types::geometry::RowIndex(5),
+    );
+    sys.run_refresh_window();
+    let w = sys.run_refresh_window();
+    // All rows skip except the spared rank-row's chip-rows.
+    assert_eq!(w.rows_refreshed, sys.geometry().num_chips() as u64);
+}
+
+#[test]
+fn window_stats_are_conserved() {
+    // refreshed + skipped must equal the total chip-row population,
+    // every window, under traffic.
+    let exp = tiny();
+    let mut ps =
+        population::build_system(Benchmark::Lbm, 1.0, RefreshPolicy::ChargeAware, &exp).unwrap();
+    let total = ps.system.geometry().total_chip_row_refreshes_per_window();
+    for _ in 0..3 {
+        let w = ps.system.run_refresh_window();
+        assert_eq!(w.rows_refreshed + w.rows_skipped, total);
+    }
+}

@@ -1,0 +1,95 @@
+//! Integration between the functional refresh engine (`zr-dram`) and the
+//! event-driven timing simulator (`zr-timing`): per-AR-set refreshed
+//! fractions measured on real contents drive the bank-busy windows.
+
+use zr_dram::RefreshPolicy;
+use zr_sim::experiments::{population, ExperimentConfig};
+use zr_timing::{MemoryTimingSim, RefreshDurations, RequestGenerator};
+use zr_types::geometry::BankId;
+use zr_workloads::Benchmark;
+
+/// Runs one refresh window set-by-set and returns the per-(bank, set)
+/// refreshed fractions — the `PerSet` profile for the timing simulator.
+fn per_set_profile(ps: &mut population::PopulatedSystem) -> Vec<f64> {
+    let geom = ps.system.geometry().clone();
+    let sets = geom.ar_sets_per_bank();
+    let banks = geom.num_banks();
+    let per_ar_rows = geom.ar_rows() * geom.num_chips() as u64;
+    let mut fractions = vec![1.0; (banks as u64 * sets) as usize];
+    // Drive the engine AR by AR through the controller's internals.
+    let controller = ps.system.controller_mut();
+    // Split the borrow: clone the rank (cheap at the tiny test scale)
+    // so the engine can be driven against a stable image.
+    let rank = controller.rank().clone();
+    let mut engine =
+        zr_dram::RefreshEngine::new(&ps.system.config().clone(), RefreshPolicy::ChargeAware)
+            .unwrap();
+    let mut scan_rank = rank.clone();
+    engine.run_window(&mut scan_rank); // populate status tables
+    for set in 0..sets {
+        for bank in 0..banks {
+            let out = engine.process_ar(&rank, BankId(bank), set);
+            fractions[(bank as u64 * sets + set) as usize] =
+                out.rows_refreshed as f64 / per_ar_rows as f64;
+        }
+    }
+    fractions
+}
+
+#[test]
+fn per_set_profile_from_real_contents_reduces_latency() {
+    let exp = ExperimentConfig::tiny_test();
+    let mut ps =
+        population::build_system(Benchmark::GemsFdtd, 1.0, RefreshPolicy::ChargeAware, &exp)
+            .unwrap();
+    let fractions = per_set_profile(&mut ps);
+    let n = fractions.len();
+    let mean: f64 = fractions.iter().sum::<f64>() / n as f64;
+    // gemsFDTD is transformation-friendly: most sets skip most rows.
+    assert!(mean < 0.7, "mean refreshed fraction {mean}");
+    assert!(fractions.iter().all(|f| (0.0..=1.0).contains(f)));
+
+    // Feed the measured profile into the timing simulator with a
+    // realistic per-bank refresh cycle time so blocking is visible.
+    let mut cfg = exp.system_config();
+    cfg.timing.t_rfc_ns = 275.0;
+    let reqs = RequestGenerator::new(&cfg, 5)
+        .arrival_interval_ns(15.0)
+        .generate(30_000)
+        .unwrap();
+    let mut conv = MemoryTimingSim::new(&cfg, RefreshDurations::Conventional).unwrap();
+    let mut zr = MemoryTimingSim::new(&cfg, RefreshDurations::PerSet(fractions)).unwrap();
+    let sc = conv.process(&reqs).unwrap();
+    let sz = zr.process(&reqs).unwrap();
+    assert!(
+        sz.refresh_wait_ns < sc.refresh_wait_ns,
+        "zr wait {} vs conv {}",
+        sz.refresh_wait_ns,
+        sc.refresh_wait_ns
+    );
+    assert!(sz.mean_latency_ns() <= sc.mean_latency_ns());
+}
+
+#[test]
+fn hostile_contents_give_no_timing_benefit() {
+    let exp = ExperimentConfig::tiny_test();
+    let mut ps =
+        population::build_system(Benchmark::SpC, 1.0, RefreshPolicy::ChargeAware, &exp).unwrap();
+    let fractions = per_set_profile(&mut ps);
+    let mean: f64 = fractions.iter().sum::<f64>() / fractions.len() as f64;
+    // sp.C barely transforms: most sets still refresh most rows.
+    assert!(mean > 0.75, "mean refreshed fraction {mean}");
+}
+
+#[test]
+fn profile_length_matches_geometry() {
+    let exp = ExperimentConfig::tiny_test();
+    let mut ps =
+        population::build_system(Benchmark::Gcc, 0.5, RefreshPolicy::ChargeAware, &exp).unwrap();
+    let fractions = per_set_profile(&mut ps);
+    let geom = ps.system.geometry();
+    assert_eq!(
+        fractions.len() as u64,
+        geom.ar_sets_per_bank() * geom.num_banks() as u64
+    );
+}
