@@ -2,10 +2,13 @@
 //! the value-transformation stages (which sit on the memory datapath) and
 //! the refresh engine.
 
+use std::sync::Arc;
+
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 
 use zr_dram::{DramRank, RefreshEngine, RefreshPolicy};
 use zr_memctrl::MemoryController;
+use zr_telemetry::Telemetry;
 use zr_transform::{bitplane, ebdi, rotation, ValueTransformer};
 use zr_types::geometry::{LineAddr, RowIndex};
 use zr_types::{CachelineConfig, SystemConfig};
@@ -126,11 +129,46 @@ fn bench_controller_write(c: &mut Criterion) {
     group.finish();
 }
 
+/// The telemetry cost question: `window_all_discharged` above runs
+/// against the global telemetry instance, which is inactive when
+/// `ZR_TELEMETRY` is unset — compare `inactive` here against it for the
+/// no-sink overhead (counters only; target <2%), and against `active`
+/// for the fully instrumented cost (spans + events into a memory sink).
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let cfg = SystemConfig::small_test();
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.bench_function("refresh_window_inactive", |b| {
+        let mut rank = DramRank::new(&cfg).unwrap();
+        let mut engine = RefreshEngine::new(&cfg, RefreshPolicy::ChargeAware).unwrap();
+        engine.set_telemetry(Arc::new(Telemetry::new()));
+        engine.run_window(&mut rank); // settle: subsequent windows skip
+        b.iter(|| engine.run_window(&mut rank))
+    });
+    group.bench_function("refresh_window_active", |b| {
+        let telemetry = Arc::new(Telemetry::new());
+        let sink = telemetry.install_memory_sink();
+        let mut rank = DramRank::new(&cfg).unwrap();
+        let mut engine = RefreshEngine::new(&cfg, RefreshPolicy::ChargeAware).unwrap();
+        engine.set_telemetry(Arc::clone(&telemetry));
+        engine.run_window(&mut rank);
+        b.iter(|| {
+            engine.run_window(&mut rank);
+            // Drain so the memory sink cannot grow without bound over
+            // the measurement.
+            if sink.recorded().is_multiple_of(4096) {
+                let _ = sink.take_lines();
+            }
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_transform_stages,
     bench_full_pipeline,
     bench_refresh_engine,
-    bench_controller_write
+    bench_controller_write,
+    bench_telemetry_overhead
 );
 criterion_main!(benches);

@@ -1,4 +1,7 @@
 //! Design-choice ablations (transformation stages, tracking designs).
 fn main() {
-    zr_bench::figures::ablations(&zr_bench::experiment_config()).expect("experiment failed");
+    zr_bench::run_figure("ablations", || {
+        zr_bench::figures::ablations(&zr_bench::experiment_config())
+    })
+    .expect("experiment failed");
 }

@@ -1,5 +1,7 @@
 //! The abstract headline: reduction under the three trace scenarios.
 fn main() {
-    zr_bench::figures::datacenter_scenarios(&zr_bench::experiment_config())
-        .expect("experiment failed");
+    zr_bench::run_figure("datacenter_scenarios", || {
+        zr_bench::figures::datacenter_scenarios(&zr_bench::experiment_config())
+    })
+    .expect("experiment failed");
 }

@@ -1,5 +1,7 @@
 //! Regenerates Fig. 14 of the paper.
 fn main() {
-    zr_bench::figures::fig14_refresh_reduction(&zr_bench::experiment_config())
-        .expect("experiment failed");
+    zr_bench::run_figure("fig14_refresh_reduction", || {
+        zr_bench::figures::fig14_refresh_reduction(&zr_bench::experiment_config())
+    })
+    .expect("experiment failed");
 }

@@ -1,4 +1,7 @@
 //! Regenerates Fig. 15 of the paper.
 fn main() {
-    zr_bench::figures::fig15_energy(&zr_bench::experiment_config()).expect("experiment failed");
+    zr_bench::run_figure("fig15_energy", || {
+        zr_bench::figures::fig15_energy(&zr_bench::experiment_config())
+    })
+    .expect("experiment failed");
 }

@@ -1,5 +1,7 @@
 //! Regenerates Fig. 16 of the paper.
 fn main() {
-    zr_bench::figures::fig16_temperature(&zr_bench::experiment_config())
-        .expect("experiment failed");
+    zr_bench::run_figure("fig16_temperature", || {
+        zr_bench::figures::fig16_temperature(&zr_bench::experiment_config())
+    })
+    .expect("experiment failed");
 }

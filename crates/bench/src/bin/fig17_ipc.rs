@@ -1,4 +1,7 @@
 //! Regenerates Fig. 17 of the paper.
 fn main() {
-    zr_bench::figures::fig17_ipc(&zr_bench::experiment_config()).expect("experiment failed");
+    zr_bench::run_figure("fig17_ipc", || {
+        zr_bench::figures::fig17_ipc(&zr_bench::experiment_config())
+    })
+    .expect("experiment failed");
 }

@@ -1,4 +1,7 @@
 //! Regenerates Fig. 18 of the paper.
 fn main() {
-    zr_bench::figures::fig18_row_size(&zr_bench::experiment_config()).expect("experiment failed");
+    zr_bench::run_figure("fig18_row_size", || {
+        zr_bench::figures::fig18_row_size(&zr_bench::experiment_config())
+    })
+    .expect("experiment failed");
 }

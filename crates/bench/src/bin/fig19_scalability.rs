@@ -1,5 +1,7 @@
 //! Regenerates Fig. 19 of the paper.
 fn main() {
-    zr_bench::figures::fig19_scalability(&zr_bench::experiment_config())
-        .expect("experiment failed");
+    zr_bench::run_figure("fig19_scalability", || {
+        zr_bench::figures::fig19_scalability(&zr_bench::experiment_config())
+    })
+    .expect("experiment failed");
 }

@@ -1,4 +1,4 @@
 //! Regenerates Fig. 4 of the paper.
 fn main() {
-    zr_bench::figures::fig4_refresh_power();
+    zr_bench::run_figure("fig4_refresh_power", zr_bench::figures::fig4_refresh_power);
 }

@@ -1,4 +1,4 @@
 //! Regenerates Fig. 5 of the paper.
 fn main() {
-    zr_bench::figures::fig5_util_cdf();
+    zr_bench::run_figure("fig5_util_cdf", zr_bench::figures::fig5_util_cdf);
 }

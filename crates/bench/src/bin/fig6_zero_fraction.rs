@@ -1,5 +1,7 @@
 //! Regenerates Fig. 6 of the paper.
 fn main() {
-    zr_bench::figures::fig6_zero_fraction(&zr_bench::experiment_config())
-        .expect("experiment failed");
+    zr_bench::run_figure("fig6_zero_fraction", || {
+        zr_bench::figures::fig6_zero_fraction(&zr_bench::experiment_config())
+    })
+    .expect("experiment failed");
 }

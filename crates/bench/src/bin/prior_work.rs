@@ -1,5 +1,8 @@
 //! Prior-work comparison: ZERO-REFRESH vs ZIB / validity oracle / Smart
 //! Refresh (Sec. II-D positioning).
 fn main() {
-    zr_bench::figures::prior_work(&zr_bench::experiment_config()).expect("experiment failed");
+    zr_bench::run_figure("prior_work", || {
+        zr_bench::figures::prior_work(&zr_bench::experiment_config())
+    })
+    .expect("experiment failed");
 }

@@ -1,4 +1,4 @@
 //! Regenerates Table I of the paper.
 fn main() {
-    zr_bench::figures::table1_traces();
+    zr_bench::run_figure("table1_traces", zr_bench::figures::table1_traces);
 }

@@ -1,4 +1,4 @@
 //! Reports the tracking-structure overheads of Sec. IV-B.
 fn main() {
-    zr_bench::figures::table_overheads();
+    zr_bench::run_figure("tablex_overheads", zr_bench::figures::table_overheads);
 }

@@ -1,5 +1,7 @@
 //! EBDI word-size ablation (2/4/8-byte words).
 fn main() {
-    zr_bench::figures::word_size_ablation(&zr_bench::experiment_config())
-        .expect("experiment failed");
+    zr_bench::run_figure("word_size_ablation", || {
+        zr_bench::figures::word_size_ablation(&zr_bench::experiment_config())
+    })
+    .expect("experiment failed");
 }

@@ -25,6 +25,7 @@ pub mod figures;
 pub mod report;
 
 use zr_sim::experiments::ExperimentConfig;
+use zr_telemetry::Telemetry;
 
 /// Builds the harness-wide experiment configuration from the environment
 /// (see the crate docs for the knobs).
@@ -47,4 +48,32 @@ pub fn experiment_config() -> ExperimentConfig {
         seed,
         ..ExperimentConfig::default()
     }
+}
+
+/// Runs one figure/report function under a telemetry scope named after
+/// the figure. When `ZR_TELEMETRY` (or the `ZR_JSON` alias) names an
+/// output directory, the event sink is flushed and the full metrics
+/// snapshot is written to `<dir>/<name>_snapshot.json` after the run.
+///
+/// The `src/bin/*` report binaries all go through this wrapper:
+///
+/// ```no_run
+/// zr_bench::run_figure("fig14_refresh_reduction", || {
+///     zr_bench::figures::fig14_refresh_reduction(&zr_bench::experiment_config())
+/// })
+/// .expect("experiment failed");
+/// ```
+pub fn run_figure<T>(name: &str, f: impl FnOnce() -> T) -> T {
+    let telemetry = Telemetry::global();
+    let _scope = telemetry.scope(name);
+    let out = f();
+    if let Some(dir) = zr_telemetry::output_dir() {
+        telemetry.flush();
+        let path = dir.join(format!("{name}_snapshot.json"));
+        match telemetry.write_snapshot(&path) {
+            Ok(()) => eprintln!("[zr-bench] wrote {}", path.display()),
+            Err(e) => eprintln!("[zr-bench] failed to write {}: {e}", path.display()),
+        }
+    }
+    out
 }

@@ -1,14 +1,23 @@
 //! Small fixed-width table printing helpers for the figure reports, plus
-//! optional JSON emission (`ZR_JSON=<dir>` writes each figure's data as
-//! `<dir>/<name>.json`).
+//! optional JSON emission: when `ZR_TELEMETRY=<dir>` (or the legacy
+//! alias `ZR_JSON=<dir>`) names a directory, each figure's data is
+//! written as `<dir>/<name>.json` and the attempt is recorded as a
+//! [`zr_telemetry::Event::ReportWrite`] event.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
-/// Prints a report header with a rule line.
+use zr_telemetry::{Event, Telemetry};
+
+/// Longest title/rule the header prints before truncating.
+const HEADER_WIDTH: usize = 100;
+
+/// Prints a report header with a rule line. Both the title and the rule
+/// are clamped to the same width so they always line up.
 pub fn header(title: &str) {
+    let shown: String = title.chars().take(HEADER_WIDTH).collect();
     println!();
-    println!("{title}");
-    println!("{}", "=".repeat(title.len().min(100)));
+    println!("{shown}");
+    println!("{}", "=".repeat(shown.chars().count()));
 }
 
 /// Prints a table row: a left-aligned label plus fixed-width numeric
@@ -40,23 +49,64 @@ pub fn columns(label: &str, names: &[&str]) {
     println!("{}", "-".repeat(14 + 9 * names.len()));
 }
 
-/// Writes `data` as pretty JSON to `$ZR_JSON/<name>.json` when the
-/// `ZR_JSON` environment variable names a directory; does nothing
-/// otherwise. IO or serialization problems are reported on stderr but
-/// never fail the experiment.
+/// The directory JSON reports go to, from `ZR_TELEMETRY` or the legacy
+/// `ZR_JSON` alias (`None` disables JSON emission).
+pub fn json_output_dir() -> Option<PathBuf> {
+    zr_telemetry::output_dir()
+}
+
+/// Writes `data` as pretty JSON to `dir/<name>.json`, creating `dir`
+/// if needed, and returns the path written.
+///
+/// # Errors
+///
+/// Returns a description of the directory-creation, serialization or
+/// write failure.
+pub fn try_write_json_to<T: serde::Serialize>(
+    dir: &Path,
+    name: &str,
+    data: &T,
+) -> Result<PathBuf, String> {
+    let path = dir.join(format!("{name}.json"));
+    std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let json = serde_json::to_string_pretty(data).map_err(|e| format!("serialize {name}: {e}"))?;
+    std::fs::write(&path, json).map_err(|e| format!("write {}: {e}", path.display()))?;
+    Ok(path)
+}
+
+/// Writes `data` as pretty JSON to `<json_output_dir()>/<name>.json`
+/// when JSON emission is enabled; does nothing otherwise. The outcome —
+/// success or failure — is recorded as a `report_write` telemetry event
+/// and echoed on stderr; it never fails the experiment.
 pub fn write_json<T: serde::Serialize>(name: &str, data: &T) {
-    let Some(dir) = std::env::var_os("ZR_JSON") else {
+    let Some(dir) = json_output_dir() else {
         return;
     };
-    let dir = PathBuf::from(dir);
-    let path = dir.join(format!("{name}.json"));
-    let result = std::fs::create_dir_all(&dir)
-        .map_err(|e| e.to_string())
-        .and_then(|()| serde_json::to_string_pretty(data).map_err(|e| e.to_string()))
-        .and_then(|json| std::fs::write(&path, json).map_err(|e| e.to_string()));
-    match result {
-        Ok(()) => eprintln!("[zr-bench] wrote {}", path.display()),
-        Err(e) => eprintln!("[zr-bench] failed to write {}: {e}", path.display()),
+    write_json_with(Telemetry::global(), &dir, name, data);
+}
+
+/// [`write_json`] against an explicit telemetry instance and directory
+/// (the testable core; `write_json` binds the globals).
+fn write_json_with<T: serde::Serialize>(telemetry: &Telemetry, dir: &Path, name: &str, data: &T) {
+    match try_write_json_to(dir, name, data) {
+        Ok(path) => {
+            eprintln!("[zr-bench] wrote {}", path.display());
+            telemetry.emit(|| Event::ReportWrite {
+                name: name.to_string(),
+                path: path.display().to_string(),
+                ok: true,
+                error: None,
+            });
+        }
+        Err(e) => {
+            eprintln!("[zr-bench] failed to write {name}.json: {e}");
+            telemetry.emit(|| Event::ReportWrite {
+                name: name.to_string(),
+                path: dir.join(format!("{name}.json")).display().to_string(),
+                ok: false,
+                error: Some(e),
+            });
+        }
     }
 }
 
@@ -77,5 +127,69 @@ mod tests {
     fn mean_works() {
         assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
         assert_eq!(mean(&[]), 0.0);
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("zr-bench-report-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn try_write_creates_missing_directories() {
+        let dir = temp_dir("missing").join("deeper/nested");
+        let path = try_write_json_to(&dir, "fig_test", &vec![1.0, 2.0]).unwrap();
+        assert!(path.is_file());
+        assert_eq!(path.file_name().unwrap(), "fig_test.json");
+        let _ = std::fs::remove_dir_all(dir.parent().unwrap().parent().unwrap());
+    }
+
+    #[test]
+    fn try_write_reports_unwritable_target() {
+        // A plain file where the output directory should be makes both
+        // directory creation and the write fail.
+        let blocker = temp_dir("blocked");
+        std::fs::create_dir_all(blocker.parent().unwrap_or(Path::new("/tmp"))).unwrap();
+        std::fs::write(&blocker, b"not a directory").unwrap();
+        let err = try_write_json_to(&blocker, "fig_test", &vec![1.0]).unwrap_err();
+        assert!(err.contains("create"), "unexpected error: {err}");
+        let _ = std::fs::remove_file(&blocker);
+    }
+
+    #[test]
+    fn try_write_round_trips_content() {
+        let dir = temp_dir("happy");
+        let path = try_write_json_to(&dir, "series", &vec![0.5, 0.25]).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("0.5"), "body: {body}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_json_records_success_and_failure_events() {
+        // Hermetic: a private telemetry instance with a memory sink sees
+        // one event per attempt, on both the success and failure paths.
+        let telemetry = Telemetry::new();
+        let sink = telemetry.install_memory_sink();
+        let dir = temp_dir("events");
+        write_json_with(&telemetry, &dir, "ok_case", &1.0);
+        assert_eq!(sink.recorded(), 1);
+        assert!(dir.join("ok_case.json").is_file());
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::write(&dir, b"file blocks dir").unwrap();
+        write_json_with(&telemetry, &dir, "err_case", &1.0);
+        assert_eq!(sink.recorded(), 2);
+        let _ = std::fs::remove_file(&dir);
+    }
+
+    #[test]
+    fn header_clamps_title_and_rule_together() {
+        // The rule under the title must match the printed title's width
+        // even for over-long titles; both clamp to HEADER_WIDTH.
+        let long = "x".repeat(250);
+        let shown: String = long.chars().take(HEADER_WIDTH).collect();
+        assert_eq!(shown.chars().count(), HEADER_WIDTH);
+        header(&long); // must not panic; visual check is the clamp above
     }
 }

@@ -87,6 +87,14 @@ impl ZeroRefreshSystem {
         &mut self.controller
     }
 
+    /// Routes all metrics and events of this system to `telemetry`
+    /// instead of the process-global instance (hermetic tests, side-by-
+    /// side comparisons). Cascades to the controller, refresh engine and
+    /// transformer.
+    pub fn set_telemetry(&mut self, telemetry: std::sync::Arc<zr_telemetry::Telemetry>) {
+        self.controller.set_telemetry(telemetry);
+    }
+
     /// Read/write traffic counters.
     pub fn access_stats(&self) -> AccessStats {
         self.controller.stats()

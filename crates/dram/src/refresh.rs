@@ -13,8 +13,11 @@
 //! - [`RefreshPolicy::NaiveSram`] — the rejected full-SRAM design, kept as
 //!   an ablation.
 
+use std::sync::Arc;
+
 use crate::rank::DramRank;
 use crate::tracking::{AccessBitTable, DischargedStatusTable, NaiveSramTracker};
+use zr_telemetry::{fraction_bounds, Counter, Event, Histogram, Telemetry};
 use zr_types::geometry::{BankId, ChipId, RowIndex};
 use zr_types::{Geometry, Result, SystemConfig};
 
@@ -30,6 +33,45 @@ pub enum RefreshPolicy {
     /// mirror (ablation; see
     /// [`NaiveSramTracker`]).
     NaiveSram,
+}
+
+impl RefreshPolicy {
+    /// Stable lowercase name used in telemetry events and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RefreshPolicy::Conventional => "conventional",
+            RefreshPolicy::ChargeAware => "charge_aware",
+            RefreshPolicy::NaiveSram => "naive_sram",
+        }
+    }
+}
+
+/// Pre-resolved `dram.refresh.*` metric handles (lock-free on the hot
+/// path; lookups happen once per engine).
+#[derive(Debug, Clone)]
+struct RefreshMetrics {
+    rows_refreshed: Counter,
+    rows_skipped: Counter,
+    ar_commands: Counter,
+    table_reads: Counter,
+    table_writes: Counter,
+    windows: Counter,
+    window_skip_fraction: Histogram,
+}
+
+impl RefreshMetrics {
+    fn new(telemetry: &Telemetry) -> Self {
+        RefreshMetrics {
+            rows_refreshed: telemetry.counter("dram.refresh.rows_refreshed"),
+            rows_skipped: telemetry.counter("dram.refresh.rows_skipped"),
+            ar_commands: telemetry.counter("dram.refresh.ar_commands"),
+            table_reads: telemetry.counter("dram.refresh.table_reads"),
+            table_writes: telemetry.counter("dram.refresh.table_writes"),
+            windows: telemetry.counter("dram.refresh.windows"),
+            window_skip_fraction: telemetry
+                .histogram("dram.refresh.window_skip_fraction", &fraction_bounds()),
+        }
+    }
 }
 
 /// Outcome of one per-bank auto-refresh command.
@@ -133,6 +175,8 @@ pub struct RefreshEngine {
     status: DischargedStatusTable,
     naive: Option<NaiveSramTracker>,
     totals: WindowStats,
+    telemetry: Arc<Telemetry>,
+    metrics: RefreshMetrics,
 }
 
 impl RefreshEngine {
@@ -163,7 +207,8 @@ impl RefreshEngine {
             RefreshPolicy::NaiveSram => Some(NaiveSramTracker::new(&geom)),
             _ => None,
         };
-        Ok(RefreshEngine {
+        let telemetry = Arc::clone(Telemetry::global());
+        let engine = RefreshEngine {
             access: AccessBitTable::new(&geom),
             status: DischargedStatusTable::new(&geom),
             naive,
@@ -171,7 +216,34 @@ impl RefreshEngine {
             policy,
             granularity,
             totals: WindowStats::default(),
-        })
+            metrics: RefreshMetrics::new(&telemetry),
+            telemetry,
+        };
+        engine.export_table_sizes();
+        Ok(engine)
+    }
+
+    /// Routes this engine's metrics and events to `telemetry` instead of
+    /// the process-wide instance (hermetic tests, side-by-side engines).
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        self.metrics = RefreshMetrics::new(&telemetry);
+        self.telemetry = telemetry;
+        self.export_table_sizes();
+    }
+
+    /// Publishes the (static) tracking-table sizes as gauges.
+    fn export_table_sizes(&self) {
+        self.telemetry
+            .gauge("dram.tracking.access_bit_table_bytes")
+            .set(self.access.size_bytes() as f64);
+        self.telemetry
+            .gauge("dram.tracking.status_table_bits")
+            .set(self.status.bit_count() as f64);
+        if let Some(naive) = &self.naive {
+            self.telemetry
+                .gauge("dram.tracking.naive_sram_bytes")
+                .set(naive.size_bytes() as f64);
+        }
     }
 
     /// The AR granularity this engine uses.
@@ -315,6 +387,11 @@ impl RefreshEngine {
         self.totals.ar_commands += commands;
         self.totals.table_reads += out.table_reads;
         self.totals.table_writes += out.table_writes;
+        self.metrics.rows_refreshed.add(out.rows_refreshed);
+        self.metrics.rows_skipped.add(out.rows_skipped);
+        self.metrics.ar_commands.add(commands);
+        self.metrics.table_reads.add(out.table_reads);
+        self.metrics.table_writes.add(out.table_writes);
     }
 
     fn ar_for_bank(&mut self, rank: &DramRank, bank: BankId, set: u64) -> ArOutcome {
@@ -329,7 +406,8 @@ impl RefreshEngine {
                 out.rows_refreshed = ar * chips as u64;
             }
             RefreshPolicy::ChargeAware => {
-                if self.access.is_written(bank, set) {
+                let trusted = !self.access.is_written(bank, set);
+                if !trusted {
                     // Refresh everything; while each row is open for
                     // refresh, recompute its discharged status for free and
                     // write the batch back to the in-DRAM table once per
@@ -370,6 +448,13 @@ impl RefreshEngine {
                         }
                     }
                 }
+                self.telemetry.emit(|| Event::SkipDecision {
+                    bank: bank.0,
+                    set,
+                    trusted,
+                    rows_refreshed: out.rows_refreshed,
+                    rows_skipped: out.rows_skipped,
+                });
             }
             RefreshPolicy::NaiveSram => {
                 let naive = self.naive.as_ref().expect("naive policy has tracker");
@@ -397,6 +482,7 @@ impl RefreshEngine {
     /// (as per-bank or all-bank commands, per the configured granularity).
     /// Returns the statistics of just this window.
     pub fn run_window(&mut self, rank: &mut DramRank) -> WindowStats {
+        let span = self.telemetry.span("refresh.window");
         let before = self.totals;
         for set in 0..self.geom.ar_sets_per_bank() {
             match self.granularity {
@@ -416,6 +502,20 @@ impl RefreshEngine {
         window.ar_commands -= before.ar_commands;
         window.table_reads -= before.table_reads;
         window.table_writes -= before.table_writes;
+        self.metrics.windows.inc();
+        self.metrics
+            .window_skip_fraction
+            .observe(window.skip_fraction());
+        self.telemetry.emit(|| Event::RefreshWindow {
+            policy: self.policy.name(),
+            rows_refreshed: window.rows_refreshed,
+            rows_skipped: window.rows_skipped,
+            ar_commands: window.ar_commands,
+            table_reads: window.table_reads,
+            table_writes: window.table_writes,
+            skip_fraction: window.skip_fraction(),
+        });
+        drop(span);
         window
     }
 }

@@ -37,7 +37,7 @@ proptest! {
         let mut rank = DramRank::new(&cfg).unwrap();
         let mut engine = RefreshEngine::new(&cfg, RefreshPolicy::ChargeAware).unwrap();
         let total = rank.geometry().total_chip_row_refreshes_per_window();
-        for chunk in writes.chunks(10.max(1)) {
+        for chunk in writes.chunks(10) {
             for &(bank, row, slot, fill) in chunk {
                 let line = vec![fill; 64];
                 rank.write_encoded_line(BankId(bank), RowIndex(row), slot, &line).unwrap();

@@ -12,8 +12,10 @@
 //! `zr-timing`.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use crate::controller::MemoryController;
+use zr_telemetry::{Counter, Event, Telemetry};
 use zr_types::geometry::LineAddr;
 use zr_types::{Error, Result};
 
@@ -50,6 +52,26 @@ struct Way {
     data: [u8; 64],
 }
 
+/// Pre-resolved `memctrl.cache.*` metric handles.
+#[derive(Debug, Clone)]
+struct CacheMetrics {
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    writebacks: Counter,
+}
+
+impl CacheMetrics {
+    fn new(telemetry: &Telemetry) -> Self {
+        CacheMetrics {
+            hits: telemetry.counter("memctrl.cache.hits"),
+            misses: telemetry.counter("memctrl.cache.misses"),
+            evictions: telemetry.counter("memctrl.cache.evictions"),
+            writebacks: telemetry.counter("memctrl.cache.writebacks"),
+        }
+    }
+}
+
 /// A set-associative write-back LLC.
 ///
 /// # Examples
@@ -77,6 +99,8 @@ pub struct LastLevelCache {
     sets: Vec<VecDeque<Way>>,
     ways: usize,
     stats: CacheStats,
+    telemetry: Arc<Telemetry>,
+    metrics: CacheMetrics,
 }
 
 impl LastLevelCache {
@@ -102,11 +126,21 @@ impl LastLevelCache {
         if !num_sets.is_power_of_two() {
             return Err(Error::invalid_config("set count must be a power of two"));
         }
+        let telemetry = Arc::clone(Telemetry::global());
         Ok(LastLevelCache {
             sets: vec![VecDeque::new(); num_sets],
             ways,
             stats: CacheStats::default(),
+            metrics: CacheMetrics::new(&telemetry),
+            telemetry,
         })
+    }
+
+    /// Routes this cache's metrics and events to `telemetry` instead of
+    /// the process-wide instance.
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        self.metrics = CacheMetrics::new(&telemetry);
+        self.telemetry = telemetry;
     }
 
     /// Number of sets.
@@ -141,17 +175,25 @@ impl LastLevelCache {
         let (set, tag) = self.index(addr);
         if let Some(pos) = self.sets[set].iter().position(|w| w.tag == tag) {
             self.stats.hits += 1;
+            self.metrics.hits.inc();
             let way = self.sets[set].remove(pos).expect("position exists");
             self.sets[set].push_back(way); // most-recently-used
             return Ok(());
         }
         self.stats.misses += 1;
+        self.metrics.misses.inc();
         if self.sets[set].len() == self.ways {
             let victim = self.sets[set].pop_front().expect("full set");
             self.stats.evictions += 1;
+            self.metrics.evictions.inc();
             if victim.dirty {
                 self.stats.writebacks += 1;
+                self.metrics.writebacks.inc();
                 let victim_addr = self.addr_of(set, victim.tag);
+                self.telemetry.emit(|| Event::CacheWriteback {
+                    set,
+                    line: victim_addr.0,
+                });
                 mem.write_line(victim_addr, &victim.data)?;
             }
         }
@@ -213,6 +255,7 @@ impl LastLevelCache {
                     mem.write_line(self.addr_of(set, tag), &data)?;
                     self.sets[set][pos].dirty = false;
                     self.stats.writebacks += 1;
+                    self.metrics.writebacks.inc();
                 }
             }
         }

@@ -1,9 +1,28 @@
 //! The transforming memory controller.
 
+use std::sync::Arc;
+
 use zr_dram::{DramRank, RefreshEngine, RefreshPolicy, WindowStats};
+use zr_telemetry::{Counter, Telemetry};
 use zr_transform::ValueTransformer;
 use zr_types::geometry::{LineAddr, LineLocation};
 use zr_types::{Error, Geometry, Result, SystemConfig};
+
+/// Pre-resolved `memctrl.*` metric handles.
+#[derive(Debug, Clone)]
+struct ControllerMetrics {
+    reads: Counter,
+    writes: Counter,
+}
+
+impl ControllerMetrics {
+    fn new(telemetry: &Telemetry) -> Self {
+        ControllerMetrics {
+            reads: telemetry.counter("memctrl.reads"),
+            writes: telemetry.counter("memctrl.writes"),
+        }
+    }
+}
 
 /// Read/write traffic counters, consumed by the energy model (the EBDI
 /// module is exercised once per read and once per write, §VI-B).
@@ -34,6 +53,7 @@ pub struct MemoryController {
     rank: DramRank,
     engine: RefreshEngine,
     stats: AccessStats,
+    metrics: ControllerMetrics,
 }
 
 impl MemoryController {
@@ -50,7 +70,17 @@ impl MemoryController {
             rank: DramRank::new(config)?,
             engine: RefreshEngine::new(config, policy)?,
             stats: AccessStats::default(),
+            metrics: ControllerMetrics::new(Telemetry::global()),
         })
+    }
+
+    /// Routes this controller's metrics and events — and those of its
+    /// refresh engine and transformer — to `telemetry` instead of the
+    /// process-wide instance.
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        self.metrics = ControllerMetrics::new(&telemetry);
+        self.engine.set_telemetry(Arc::clone(&telemetry));
+        self.transformer.set_telemetry(telemetry);
     }
 
     /// The derived geometry.
@@ -97,6 +127,7 @@ impl MemoryController {
             .write_encoded_line(loc.bank, loc.row, loc.slot, &encoded)?;
         self.engine.note_write(&self.rank, loc.bank, loc.row);
         self.stats.writes += 1;
+        self.metrics.writes.inc();
         Ok(())
     }
 
@@ -111,6 +142,7 @@ impl MemoryController {
         let encoded = self.rank.read_encoded_line(loc.bank, loc.row, loc.slot)?;
         let line = self.transformer.decode(&encoded, loc.row)?;
         self.stats.reads += 1;
+        self.metrics.reads.inc();
         Ok(line)
     }
 

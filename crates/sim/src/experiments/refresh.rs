@@ -52,6 +52,10 @@ pub fn measure_with_policy(
     policy: RefreshPolicy,
     exp: &ExperimentConfig,
 ) -> Result<RefreshMeasurement> {
+    let telemetry = zr_telemetry::Telemetry::global();
+    // Everything recorded inside this run — refresh-window summaries,
+    // skip decisions, transform events — is tagged with the workload.
+    let _scope = telemetry.scope(benchmark.name());
     let mut ps = build_system(benchmark, alloc_fraction, policy, exp)?;
     let profile = benchmark.profile();
     let mut trace = TraceGenerator::new(
@@ -71,6 +75,12 @@ pub fn measure_with_policy(
         }
         stats.accumulate(&ps.system.run_refresh_window());
     }
+    telemetry.emit(|| zr_telemetry::Event::ExperimentSummary {
+        benchmark: benchmark.name(),
+        alloc_fraction,
+        normalized: stats.normalized_refreshes(),
+        windows: exp.windows,
+    });
     Ok(RefreshMeasurement {
         benchmark: benchmark.name(),
         alloc_fraction,

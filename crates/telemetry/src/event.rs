@@ -1,0 +1,364 @@
+//! The structured event sink: JSON Lines export of simulator events.
+//!
+//! Events are only materialized when a sink is installed (see
+//! [`crate::Telemetry::emit`]); with no sink the emit path is a single
+//! relaxed atomic load, so instrumented hot paths stay at baseline cost.
+//!
+//! High-rate event kinds (per-AR-set skip decisions, per-line transform
+//! outcomes, per-request row-buffer transitions) are sampled: by default
+//! one in [`SampleConfig::DEFAULT_RATE`] records reaches the sink, so the
+//! stream stays proportional to the interesting low-rate events. The rate
+//! is tunable via `ZR_TELEMETRY_SAMPLE` (`1` = keep everything).
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One structured simulator event.
+///
+/// Serialized with an adjacent `type` tag, so a JSONL stream can be
+/// filtered with `jq 'select(.type == "refresh_window")'`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum Event {
+    /// One retention window completed by a refresh engine.
+    RefreshWindow {
+        /// Policy name (`conventional` / `charge_aware` / `naive_sram`).
+        policy: &'static str,
+        /// Chip-rows refreshed in this window.
+        rows_refreshed: u64,
+        /// Chip-rows skipped in this window.
+        rows_skipped: u64,
+        /// AR commands issued in this window.
+        ar_commands: u64,
+        /// Batched status-table reads in this window.
+        table_reads: u64,
+        /// Batched status-table writes in this window.
+        table_writes: u64,
+        /// Fraction of chip-row refreshes skipped.
+        skip_fraction: f64,
+    },
+    /// One per-AR-set skip decision (sampled).
+    SkipDecision {
+        /// Bank the AR command addressed.
+        bank: usize,
+        /// AR set within the bank.
+        set: u64,
+        /// Whether the access bit allowed the stored status to be
+        /// trusted (true = skip path, false = refresh + rescan).
+        trusted: bool,
+        /// Chip-rows refreshed by this command.
+        rows_refreshed: u64,
+        /// Chip-rows skipped by this command.
+        rows_skipped: u64,
+    },
+    /// One value-transformation pipeline application (sampled).
+    TransformStage {
+        /// `"encode"` or `"decode"`.
+        op: &'static str,
+        /// Destination rank-row.
+        row: u64,
+        /// Whether the EBDI stage ran.
+        ebdi: bool,
+        /// Whether the bit-plane transposition ran.
+        bit_plane: bool,
+        /// Whether the line was inverted for an anti-cell row.
+        inverted: bool,
+        /// Whether the rotation stage ran.
+        rotation: bool,
+    },
+    /// One row-buffer state transition in the timing simulator (sampled).
+    RowBuffer {
+        /// Bank index.
+        bank: usize,
+        /// Addressed rank-row.
+        row: u64,
+        /// `"hit"`, `"closed"` or `"conflict"`.
+        outcome: &'static str,
+    },
+    /// One LLC eviction that wrote a dirty line back (sampled).
+    CacheWriteback {
+        /// Cache set index.
+        set: usize,
+        /// Evicted line address.
+        line: u64,
+    },
+    /// One experiment summary from a `zr-sim` driver.
+    ExperimentSummary {
+        /// Benchmark name.
+        benchmark: &'static str,
+        /// Allocated memory fraction of the scenario.
+        alloc_fraction: f64,
+        /// Refresh operations normalized to the conventional baseline.
+        normalized: f64,
+        /// Measured retention windows.
+        windows: u64,
+    },
+    /// A figure/report JSON artifact write attempt from `zr-bench`.
+    ReportWrite {
+        /// Report name.
+        name: String,
+        /// Destination path.
+        path: String,
+        /// Whether the write succeeded.
+        ok: bool,
+        /// Error message when `ok` is false.
+        #[serde(skip_serializing_if = "Option::is_none")]
+        error: Option<String>,
+    },
+}
+
+impl Event {
+    /// Whether this kind is high-rate and therefore subject to sampling.
+    pub fn sampled(&self) -> bool {
+        matches!(
+            self,
+            Event::SkipDecision { .. }
+                | Event::TransformStage { .. }
+                | Event::RowBuffer { .. }
+                | Event::CacheWriteback { .. }
+        )
+    }
+}
+
+/// Envelope around an [`Event`] as one JSONL record.
+#[derive(Debug, serde::Serialize)]
+struct Record<'a> {
+    /// Monotonic sequence number within the sink.
+    seq: u64,
+    /// Microseconds since the sink was installed.
+    t_us: u64,
+    /// Current telemetry scope (e.g. `fig14_refresh_reduction.gcc`).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    scope: Option<String>,
+    /// Current phase-span path (e.g. `refresh.window`).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    span: Option<String>,
+    #[serde(flatten)]
+    event: &'a Event,
+}
+
+/// Sampling configuration for high-rate event kinds.
+#[derive(Debug, Clone, Copy)]
+pub struct SampleConfig {
+    /// Keep one of every `rate` sampled-kind events (1 = keep all).
+    pub rate: u64,
+}
+
+impl SampleConfig {
+    /// Default sampling rate for high-rate kinds.
+    pub const DEFAULT_RATE: u64 = 64;
+
+    /// Reads `ZR_TELEMETRY_SAMPLE` (falling back to the default rate).
+    pub fn from_env() -> Self {
+        let rate = std::env::var("ZR_TELEMETRY_SAMPLE")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .filter(|&r| r > 0)
+            .unwrap_or(Self::DEFAULT_RATE);
+        SampleConfig { rate }
+    }
+}
+
+impl Default for SampleConfig {
+    fn default() -> Self {
+        SampleConfig {
+            rate: Self::DEFAULT_RATE,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Target {
+    Memory(Vec<String>),
+    File(BufWriter<File>),
+}
+
+/// A JSONL event sink writing to a file or an in-memory buffer.
+#[derive(Debug)]
+pub struct EventSink {
+    target: Mutex<Target>,
+    seq: AtomicU64,
+    dropped: AtomicU64,
+    started: Instant,
+    sample: SampleConfig,
+    sample_counter: AtomicU64,
+}
+
+impl EventSink {
+    /// An in-memory sink (tests, programmatic consumers).
+    pub fn memory(sample: SampleConfig) -> Self {
+        EventSink::with_target(Target::Memory(Vec::new()), sample)
+    }
+
+    /// A sink appending JSONL records to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying IO error if the file cannot be created.
+    pub fn file(path: &Path, sample: SampleConfig) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(EventSink::with_target(
+            Target::File(BufWriter::new(file)),
+            sample,
+        ))
+    }
+
+    fn with_target(target: Target, sample: SampleConfig) -> Self {
+        EventSink {
+            target: Mutex::new(target),
+            seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            started: Instant::now(),
+            sample,
+            sample_counter: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether a sampled-kind event should be recorded right now.
+    fn admit(&self, event: &Event) -> bool {
+        if !event.sampled() {
+            return true;
+        }
+        let n = self.sample_counter.fetch_add(1, Ordering::Relaxed);
+        if n.is_multiple_of(self.sample.rate) {
+            true
+        } else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            false
+        }
+    }
+
+    /// Records `event` (subject to sampling) under the given scope/span
+    /// context.
+    pub fn record(&self, event: &Event, scope: Option<String>, span: Option<String>) {
+        if !self.admit(event) {
+            return;
+        }
+        let record = Record {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            t_us: self.started.elapsed().as_micros() as u64,
+            scope,
+            span,
+            event,
+        };
+        let Ok(line) = serde_json::to_string(&record) else {
+            return;
+        };
+        let mut target = self.target.lock().expect("sink lock");
+        match &mut *target {
+            Target::Memory(buf) => buf.push(line),
+            Target::File(w) => {
+                let _ = writeln!(w, "{line}");
+            }
+        }
+    }
+
+    /// Events recorded so far.
+    pub fn recorded(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Sampled-kind events dropped by sampling so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Flushes a file-backed sink (no-op for memory sinks).
+    pub fn flush(&self) {
+        if let Target::File(w) = &mut *self.target.lock().expect("sink lock") {
+            let _ = w.flush();
+        }
+    }
+
+    /// Takes and clears the buffered lines of a memory sink (empty for
+    /// file sinks).
+    pub fn take_lines(&self) -> Vec<String> {
+        match &mut *self.target.lock().expect("sink lock") {
+            Target::Memory(buf) => std::mem::take(buf),
+            Target::File(_) => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window_event() -> Event {
+        Event::RefreshWindow {
+            policy: "charge_aware",
+            rows_refreshed: 10,
+            rows_skipped: 90,
+            ar_commands: 4,
+            table_reads: 8,
+            table_writes: 0,
+            skip_fraction: 0.9,
+        }
+    }
+
+    #[test]
+    fn memory_sink_records_jsonl() {
+        let sink = EventSink::memory(SampleConfig::default());
+        sink.record(&window_event(), Some("fig14.gcc".into()), None);
+        let lines = sink.take_lines();
+        assert_eq!(lines.len(), 1);
+        let v: serde_json::Value = serde_json::from_str(&lines[0]).unwrap();
+        assert_eq!(v["type"], "refresh_window");
+        assert_eq!(v["scope"], "fig14.gcc");
+        assert_eq!(v["rows_skipped"], 90);
+        assert_eq!(v["seq"], 0);
+    }
+
+    #[test]
+    fn high_rate_kinds_are_sampled() {
+        let sink = EventSink::memory(SampleConfig { rate: 10 });
+        for set in 0..100 {
+            sink.record(
+                &Event::SkipDecision {
+                    bank: 0,
+                    set,
+                    trusted: true,
+                    rows_refreshed: 0,
+                    rows_skipped: 8,
+                },
+                None,
+                None,
+            );
+        }
+        assert_eq!(sink.take_lines().len(), 10);
+        assert_eq!(sink.dropped(), 90);
+        // Low-rate kinds always pass.
+        sink.record(&window_event(), None, None);
+        assert_eq!(sink.take_lines().len(), 1);
+    }
+
+    #[test]
+    fn file_sink_writes_lines() {
+        let dir = std::env::temp_dir().join(format!("zr-telemetry-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let sink = EventSink::file(&path, SampleConfig::default()).unwrap();
+        sink.record(&window_event(), None, Some("refresh.window".into()));
+        sink.flush();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content.lines().count(), 1);
+        assert!(content.contains("\"span\":\"refresh.window\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn report_write_error_field_is_optional() {
+        let ok = Event::ReportWrite {
+            name: "fig14".into(),
+            path: "/tmp/fig14.json".into(),
+            ok: true,
+            error: None,
+        };
+        let json = serde_json::to_string(&ok).unwrap();
+        assert!(!json.contains("error"));
+    }
+}

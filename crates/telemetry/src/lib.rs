@@ -1,0 +1,316 @@
+//! `zr-telemetry`: metrics registry, phase tracing and structured event
+//! export for the ZERO-REFRESH simulation stack.
+//!
+//! The crate has three cooperating pieces, all reachable through one
+//! [`Telemetry`] handle:
+//!
+//! * a [`Registry`] of named counters, gauges and fixed-bucket
+//!   histograms with cheap atomic updates and hierarchical
+//!   `scope.metric` names (`dram.refresh.rows_skipped`);
+//! * span-style phase timers ([`Telemetry::span`]) that record
+//!   wall-time histograms under `span.<name>` and nest;
+//! * a structured [`EventSink`] emitting JSON Lines (refresh-window
+//!   summaries, sampled skip decisions, transform-stage outcomes,
+//!   row-buffer transitions) to a file or in-memory buffer.
+//!
+//! Everything is off by default. Setting `ZR_TELEMETRY=<dir>` (or the
+//! legacy alias `ZR_JSON=<dir>`) before the process starts activates
+//! the global instance and appends events to `<dir>/events.jsonl`;
+//! [`Telemetry::snapshot`] serializes every registered metric for the
+//! bench figure binaries. When inactive, instrumented hot paths pay a
+//! single relaxed atomic load per would-be span/event plus plain
+//! relaxed counter increments.
+//!
+//! Components default to [`Telemetry::global`] but expose
+//! `set_telemetry(Arc<Telemetry>)` so tests can install a private
+//! instance and assert on it hermetically.
+
+#![warn(missing_docs)]
+
+mod event;
+mod registry;
+mod span;
+
+pub use event::{Event, EventSink, SampleConfig};
+pub use registry::{
+    duration_ns_bounds, fraction_bounds, Counter, Gauge, Histogram, HistogramSnapshot, Registry,
+    Snapshot,
+};
+pub use span::{ScopeGuard, Span};
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Environment variable selecting the telemetry output directory.
+pub const ENV_DIR: &str = "ZR_TELEMETRY";
+
+/// Deprecated alias for [`ENV_DIR`] kept for pre-telemetry scripts.
+pub const ENV_DIR_ALIAS: &str = "ZR_JSON";
+
+/// Output directory requested through the environment:
+/// [`ENV_DIR`] first, falling back to the [`ENV_DIR_ALIAS`].
+pub fn output_dir() -> Option<PathBuf> {
+    std::env::var_os(ENV_DIR)
+        .or_else(|| std::env::var_os(ENV_DIR_ALIAS))
+        .filter(|v| !v.is_empty())
+        .map(PathBuf::from)
+}
+
+/// One telemetry instance: a metric registry, an optional event sink
+/// and an activation flag gating all non-counter work.
+#[derive(Debug)]
+pub struct Telemetry {
+    registry: Registry,
+    sink: RwLock<Option<Arc<EventSink>>>,
+    active: AtomicBool,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::new()
+    }
+}
+
+impl Telemetry {
+    /// An inactive instance with an empty registry and no sink.
+    pub fn new() -> Self {
+        Telemetry {
+            registry: Registry::new(),
+            sink: RwLock::new(None),
+            active: AtomicBool::new(false),
+        }
+    }
+
+    /// The process-wide instance. First access initializes it from the
+    /// environment (see [`Telemetry::init_from_env`]).
+    pub fn global() -> &'static Arc<Telemetry> {
+        static GLOBAL: OnceLock<Arc<Telemetry>> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let telemetry = Telemetry::new();
+            telemetry.init_from_env();
+            Arc::new(telemetry)
+        })
+    }
+
+    /// Activates this instance from `ZR_TELEMETRY` / `ZR_JSON`: when a
+    /// directory is configured, creates it, installs a file sink at
+    /// `<dir>/events.jsonl` and returns the directory. Leaves the
+    /// instance inactive (and returns `None`) when neither is set.
+    pub fn init_from_env(&self) -> Option<PathBuf> {
+        let dir = output_dir()?;
+        if let Err(err) = std::fs::create_dir_all(&dir) {
+            eprintln!("zr-telemetry: cannot create {}: {err}", dir.display());
+            return None;
+        }
+        match EventSink::file(&dir.join("events.jsonl"), SampleConfig::from_env()) {
+            Ok(sink) => {
+                self.install_sink(sink);
+            }
+            Err(err) => {
+                eprintln!("zr-telemetry: cannot open event sink: {err}");
+                self.activate();
+            }
+        }
+        Some(dir)
+    }
+
+    /// Whether spans and events are live. Instrumented code checks this
+    /// (one relaxed load) before doing anything beyond counter updates.
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    /// Activates spans (and events, once a sink is installed) without
+    /// installing a sink.
+    pub fn activate(&self) {
+        self.active.store(true, Ordering::Relaxed);
+    }
+
+    /// Installs `sink`, activating the instance, and returns a shared
+    /// handle to it. Replaces (and flushes) any previous sink.
+    pub fn install_sink(&self, sink: EventSink) -> Arc<EventSink> {
+        let sink = Arc::new(sink);
+        let previous = self
+            .sink
+            .write()
+            .expect("sink lock")
+            .replace(Arc::clone(&sink));
+        if let Some(previous) = previous {
+            previous.flush();
+        }
+        self.activate();
+        sink
+    }
+
+    /// Installs an in-memory sink with the default sampling rate
+    /// (convenience for tests).
+    pub fn install_memory_sink(&self) -> Arc<EventSink> {
+        self.install_sink(EventSink::memory(SampleConfig::default()))
+    }
+
+    /// Flushes and removes the sink and deactivates the instance.
+    pub fn clear_sink(&self) {
+        if let Some(sink) = self.sink.write().expect("sink lock").take() {
+            sink.flush();
+        }
+        self.active.store(false, Ordering::Relaxed);
+    }
+
+    /// The underlying metric registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Counter registered under `name` (see [`Registry::counter`]).
+    pub fn counter(&self, name: &str) -> Counter {
+        self.registry.counter(name)
+    }
+
+    /// Gauge registered under `name` (see [`Registry::gauge`]).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.registry.gauge(name)
+    }
+
+    /// Histogram registered under `name` (see [`Registry::histogram`]).
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Histogram {
+        self.registry.histogram(name, bounds)
+    }
+
+    /// Starts a phase span named `name`, recording elapsed wall time
+    /// into the `span.<name>` histogram when dropped. Returns an inert
+    /// guard (no clock read) while the instance is inactive.
+    #[inline]
+    pub fn span(&self, name: &'static str) -> Span {
+        if !self.is_active() {
+            return Span::noop();
+        }
+        let histogram = self
+            .registry
+            .histogram(&format!("span.{name}"), &duration_ns_bounds());
+        Span::enter(name, histogram)
+    }
+
+    /// Pushes `name` onto this thread's scope stack; events recorded
+    /// while the guard lives carry the dot-joined stack in `scope`.
+    pub fn scope(&self, name: &str) -> ScopeGuard {
+        ScopeGuard::push(name)
+    }
+
+    /// Records the event built by `make` into the installed sink,
+    /// tagged with the thread's current scope and span. Does nothing —
+    /// without invoking `make` — when inactive or sinkless.
+    #[inline]
+    pub fn emit(&self, make: impl FnOnce() -> Event) {
+        if !self.is_active() {
+            return;
+        }
+        let Some(sink) = self.sink.read().expect("sink lock").clone() else {
+            return;
+        };
+        let event = make();
+        sink.record(
+            &event,
+            span::current_scope(),
+            span::current_span().map(str::to_string),
+        );
+    }
+
+    /// Serializable snapshot of every registered metric.
+    pub fn snapshot(&self) -> Snapshot {
+        self.registry.snapshot()
+    }
+
+    /// Writes a pretty-printed JSON snapshot to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying serialization or IO error.
+    pub fn write_snapshot(&self, path: &Path) -> Result<(), String> {
+        let json = serde_json::to_string_pretty(&self.snapshot()).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| e.to_string())
+    }
+
+    /// Flushes the installed sink, if any.
+    pub fn flush(&self) {
+        if let Some(sink) = self.sink.read().expect("sink lock").as_ref() {
+            sink.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_instance_is_inert() {
+        let t = Telemetry::new();
+        assert!(!t.is_active());
+        // Inert span: nothing registered, nothing recorded.
+        drop(t.span("refresh.window"));
+        assert!(t.snapshot().span("refresh.window").is_none());
+        // Emit without a sink must not invoke the constructor.
+        t.emit(|| unreachable!("emit must be skipped while inactive"));
+    }
+
+    #[test]
+    fn spans_record_wall_time_histograms() {
+        let t = Telemetry::new();
+        t.activate();
+        for _ in 0..3 {
+            let _span = t.span("refresh.window");
+        }
+        let snap = t.snapshot();
+        let hist = snap.span("refresh.window").expect("span histogram");
+        assert_eq!(hist.count, 3);
+        assert!(hist.sum >= 0.0);
+    }
+
+    #[test]
+    fn events_carry_scope_and_span_tags() {
+        let t = Telemetry::new();
+        let sink = t.install_memory_sink();
+        let _scope = t.scope("fig14_refresh_reduction");
+        let _inner = t.scope("gcc");
+        let _span = t.span("refresh.window");
+        t.emit(|| Event::RefreshWindow {
+            policy: "charge_aware",
+            rows_refreshed: 1,
+            rows_skipped: 9,
+            ar_commands: 2,
+            table_reads: 2,
+            table_writes: 0,
+            skip_fraction: 0.9,
+        });
+        let lines = sink.take_lines();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("\"scope\":\"fig14_refresh_reduction.gcc\""));
+        assert!(lines[0].contains("\"span\":\"refresh.window\""));
+    }
+
+    #[test]
+    fn clear_sink_deactivates() {
+        let t = Telemetry::new();
+        t.install_memory_sink();
+        assert!(t.is_active());
+        t.clear_sink();
+        assert!(!t.is_active());
+        t.emit(|| unreachable!("emit must be skipped after clear_sink"));
+    }
+
+    #[test]
+    fn write_snapshot_round_trips() {
+        let t = Telemetry::new();
+        t.counter("dram.refresh.windows").add(5);
+        let dir = std::env::temp_dir().join(format!("zr-telemetry-lib-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.json");
+        t.write_snapshot(&path).unwrap();
+        let back: Snapshot =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(back.counter("dram.refresh.windows"), 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

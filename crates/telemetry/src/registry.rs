@@ -1,0 +1,378 @@
+//! The metric registry: named counters, gauges and fixed-bucket
+//! histograms with cheap atomic updates.
+//!
+//! Metric names are hierarchical, dot-separated `scope.metric` paths
+//! (e.g. `dram.refresh.rows_skipped`). Handles ([`Counter`], [`Gauge`],
+//! [`Histogram`]) are cheap `Arc` clones of the registered metric:
+//! components look their metrics up once at construction time and update
+//! them lock-free on the hot path.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing `u64` counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A detached counter not registered anywhere (a cheap null object
+    /// for tests and defaults).
+    pub fn detached() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins `f64` gauge.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// A detached gauge not registered anywhere.
+    pub fn detached() -> Self {
+        Gauge::default()
+    }
+
+    /// Stores `value`.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// Upper bounds of the finite buckets, ascending; observations above
+    /// the last bound land in the implicit overflow bucket.
+    bounds: Vec<f64>,
+    /// `bounds.len() + 1` buckets (the last is the overflow bucket).
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// `f64` bit patterns maintained by CAS loops.
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+/// A fixed-bucket histogram of `f64` observations.
+///
+/// Buckets are defined by ascending upper bounds; one extra overflow
+/// bucket catches everything above the last bound. `sum`, `count`, `min`
+/// and `max` are tracked exactly.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        let mut bounds = bounds.to_vec();
+        bounds.sort_by(|a, b| a.partial_cmp(b).expect("finite bucket bounds"));
+        bounds.dedup();
+        let buckets = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Histogram(Arc::new(HistogramInner {
+            bounds,
+            buckets,
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0.0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }))
+    }
+
+    /// A detached histogram not registered anywhere.
+    pub fn detached(bounds: &[f64]) -> Self {
+        Histogram::new(bounds)
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: f64) {
+        let inner = &self.0;
+        let idx = inner
+            .bounds
+            .partition_point(|&b| b < value)
+            .min(inner.buckets.len() - 1);
+        inner.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        update_f64(&inner.sum_bits, |s| s + value);
+        update_f64(&inner.min_bits, |m| m.min(value));
+        update_f64(&inner.max_bits, |m| m.max(value));
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.0.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Serializable snapshot of the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let inner = &self.0;
+        let count = self.count();
+        let sum = self.sum();
+        HistogramSnapshot {
+            bounds: inner.bounds.clone(),
+            buckets: inner
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count,
+            sum,
+            mean: if count == 0 { 0.0 } else { sum / count as f64 },
+            min: if count == 0 {
+                0.0
+            } else {
+                f64::from_bits(inner.min_bits.load(Ordering::Relaxed))
+            },
+            max: if count == 0 {
+                0.0
+            } else {
+                f64::from_bits(inner.max_bits.load(Ordering::Relaxed))
+            },
+        }
+    }
+}
+
+fn update_f64(bits: &AtomicU64, f: impl Fn(f64) -> f64) {
+    let mut cur = bits.load(Ordering::Relaxed);
+    loop {
+        let next = f(f64::from_bits(cur)).to_bits();
+        match bits.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// Point-in-time state of one [`Histogram`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct HistogramSnapshot {
+    /// Ascending upper bounds of the finite buckets.
+    pub bounds: Vec<f64>,
+    /// Per-bucket observation counts; the final entry is the overflow
+    /// bucket above the last bound.
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Mean observation (0.0 when empty).
+    pub mean: f64,
+    /// Smallest observation (0.0 when empty).
+    pub min: f64,
+    /// Largest observation (0.0 when empty).
+    pub max: f64,
+}
+
+/// Point-in-time state of a whole [`Registry`], as written to
+/// `<ZR_TELEMETRY>/<name>_snapshot.json` by the bench harness.
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct Snapshot {
+    /// Counter values by metric name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by metric name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram states by metric name (phase timers appear under
+    /// `span.<name>`).
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Counter value by name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Phase-timer histogram recorded by a span named `name` (spans are
+    /// stored under `span.<name>`).
+    pub fn span(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(&format!("span.{name}"))
+    }
+}
+
+/// The metric registry. Get-or-create lookups take a lock; the returned
+/// handles update lock-free.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+impl Registry {
+    /// Builds an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Returns the counter registered under `name`, creating it if new.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.counters.lock().expect("registry lock");
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Returns the gauge registered under `name`, creating it if new.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.gauges.lock().expect("registry lock");
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Returns the histogram registered under `name`, creating it with
+    /// `bounds` if new (an existing histogram keeps its original bounds).
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Histogram {
+        let mut map = self.histograms.lock().expect("registry lock");
+        map.entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds))
+            .clone()
+    }
+
+    /// Serializable snapshot of every registered metric.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .lock()
+                .expect("registry lock")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .expect("registry lock")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .expect("registry lock")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// Bucket bounds for fractions in `[0, 1]` (skip rates, hit rates):
+/// twenty 5%-wide buckets.
+pub fn fraction_bounds() -> Vec<f64> {
+    (1..=20).map(|i| i as f64 / 20.0).collect()
+}
+
+/// Exponential wall-time bounds in nanoseconds, 100 ns to ~100 ms.
+pub fn duration_ns_bounds() -> Vec<f64> {
+    let mut out = Vec::new();
+    let mut b = 100.0f64;
+    while b <= 1.0e8 {
+        out.push(b);
+        b *= 2.0;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let reg = Registry::new();
+        let c = reg.counter("a.b");
+        c.inc();
+        c.add(4);
+        // Same name -> same underlying metric.
+        assert_eq!(reg.counter("a.b").get(), 5);
+        let g = reg.gauge("a.g");
+        g.set(2.5);
+        assert_eq!(reg.gauge("a.g").get(), 2.5);
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let h = Histogram::new(&[1.0, 2.0, 4.0]);
+        for v in [0.5, 1.0, 1.5, 3.0, 100.0] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        // bounds are upper-inclusive-exclusive via partition_point(< v):
+        // 0.5,1.0 -> bucket 0; 1.5 -> bucket 1; 3.0 -> bucket 2; 100 -> overflow.
+        assert_eq!(s.buckets, vec![2, 1, 1, 1]);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, 0.5);
+        assert_eq!(s.max, 100.0);
+        assert!((s.sum - 106.0).abs() < 1e-9);
+        assert!((s.mean - 21.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_zeroed() {
+        let s = Histogram::new(&[1.0]).snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 0.0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_serde() {
+        let reg = Registry::new();
+        reg.counter("x").add(7);
+        reg.gauge("y").set(1.25);
+        reg.histogram("z", &fraction_bounds()).observe(0.3);
+        let snap = reg.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: Snapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.counter("x"), 7);
+        assert_eq!(back.counter("missing"), 0);
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_counts() {
+        let reg = std::sync::Arc::new(Registry::new());
+        let c = reg.counter("hot");
+        let h = reg.histogram("hist", &[10.0, 100.0]);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let (c, h) = (c.clone(), h.clone());
+                std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        c.inc();
+                        h.observe(i as f64);
+                    }
+                })
+            })
+            .collect();
+        for t in handles {
+            t.join().unwrap();
+        }
+        assert_eq!(c.get(), 4000);
+        assert_eq!(h.count(), 4000);
+    }
+}

@@ -1,0 +1,114 @@
+//! Span-style phase timers and scope tagging.
+//!
+//! A [`Span`] is an RAII guard around one timed phase (`refresh.window`,
+//! `transform.encode`, ...). While the guard is alive the span name is
+//! the thread's current phase — events emitted underneath it carry the
+//! name in their `span` field — and on drop the elapsed wall time is
+//! recorded into the `span.<name>` histogram of the owning registry.
+//! Spans nest: the innermost live span wins.
+//!
+//! A [`ScopeGuard`] tags everything recorded on the thread with a
+//! logical scope (typically `<figure>.<workload>`); nested scopes join
+//! with dots.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use crate::registry::Histogram;
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    static SCOPE_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Innermost live span name on this thread, if any.
+pub(crate) fn current_span() -> Option<&'static str> {
+    SPAN_STACK.with(|s| s.borrow().last().copied())
+}
+
+/// Dot-joined scope stack of this thread, if any scope is active.
+pub(crate) fn current_scope() -> Option<String> {
+    SCOPE_STACK.with(|s| {
+        let stack = s.borrow();
+        if stack.is_empty() {
+            None
+        } else {
+            Some(stack.join("."))
+        }
+    })
+}
+
+/// RAII guard for a logical telemetry scope (see
+/// [`crate::Telemetry::scope`]). Dropping pops the scope.
+#[derive(Debug)]
+pub struct ScopeGuard(());
+
+impl ScopeGuard {
+    pub(crate) fn push(name: &str) -> Self {
+        SCOPE_STACK.with(|s| s.borrow_mut().push(name.to_string()));
+        ScopeGuard(())
+    }
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        SCOPE_STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+/// RAII guard for one timed phase (see [`crate::Telemetry::span`]).
+///
+/// A disabled span is inert: no clock read, no histogram update, no
+/// stack push — the hot path pays only the `active` check that decided
+/// to hand one out.
+#[derive(Debug)]
+#[must_use = "a span records its duration when dropped"]
+pub struct Span {
+    live: Option<LiveSpan>,
+}
+
+#[derive(Debug)]
+struct LiveSpan {
+    name: &'static str,
+    started: Instant,
+    histogram: Histogram,
+}
+
+impl Span {
+    /// An inert span that records nothing.
+    pub(crate) fn noop() -> Self {
+        Span { live: None }
+    }
+
+    /// Starts timing `name`, recording into `histogram` on drop.
+    pub(crate) fn enter(name: &'static str, histogram: Histogram) -> Self {
+        SPAN_STACK.with(|s| s.borrow_mut().push(name));
+        Span {
+            live: Some(LiveSpan {
+                name,
+                started: Instant::now(),
+                histogram,
+            }),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(live) = self.live.take() {
+            live.histogram
+                .observe(live.started.elapsed().as_nanos() as f64);
+            // Guards may be dropped out of LIFO order when held across
+            // scopes; remove the innermost entry with this name instead
+            // of blindly popping.
+            SPAN_STACK.with(|s| {
+                let mut stack = s.borrow_mut();
+                if let Some(pos) = stack.iter().rposition(|n| *n == live.name) {
+                    stack.remove(pos);
+                }
+            });
+        }
+    }
+}

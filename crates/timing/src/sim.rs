@@ -1,10 +1,43 @@
 //! The rank-level timing simulator.
 
+use std::sync::Arc;
+
 use crate::bank::{AccessKind, BankTiming};
 use crate::params::DerivedTiming;
 use crate::requests::MemoryRequest;
 use crate::stats::TimingStats;
+use zr_telemetry::{Counter, Event, Telemetry};
 use zr_types::{Error, Geometry, Result, SystemConfig};
+
+/// Pre-resolved `timing.*` metric handles.
+#[derive(Debug, Clone)]
+struct TimingMetrics {
+    requests: Counter,
+    row_hits: Counter,
+    row_closed: Counter,
+    row_conflicts: Counter,
+}
+
+impl TimingMetrics {
+    fn new(telemetry: &Telemetry) -> Self {
+        TimingMetrics {
+            requests: telemetry.counter("timing.requests"),
+            row_hits: telemetry.counter("timing.row_hits"),
+            row_closed: telemetry.counter("timing.row_closed"),
+            row_conflicts: telemetry.counter("timing.row_conflicts"),
+        }
+    }
+}
+
+impl AccessKind {
+    fn outcome_name(self) -> &'static str {
+        match self {
+            AccessKind::RowHit => "hit",
+            AccessKind::RowClosed => "closed",
+            AccessKind::RowConflict => "conflict",
+        }
+    }
+}
 
 /// How long each auto-refresh command keeps its bank busy — the interface
 /// through which ZERO-REFRESH's skipping reaches the timing domain.
@@ -58,6 +91,8 @@ pub struct MemoryTimingSim {
     /// Start times of the most recent activates, for tRRD/tFAW.
     recent_activates: Vec<f64>,
     stats: TimingStats,
+    telemetry: Arc<Telemetry>,
+    metrics: TimingMetrics,
 }
 
 impl MemoryTimingSim {
@@ -85,6 +120,7 @@ impl MemoryTimingSim {
         let banks = (0..num_banks)
             .map(|b| BankTiming::new(b as f64 * timing.t_refi_ns / num_banks as f64))
             .collect();
+        let telemetry = Arc::clone(Telemetry::global());
         Ok(MemoryTimingSim {
             geom,
             timing,
@@ -92,7 +128,16 @@ impl MemoryTimingSim {
             banks,
             recent_activates: Vec::new(),
             stats: TimingStats::default(),
+            metrics: TimingMetrics::new(&telemetry),
+            telemetry,
         })
+    }
+
+    /// Routes this simulator's metrics and events to `telemetry` instead
+    /// of the process-wide instance.
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        self.metrics = TimingMetrics::new(&telemetry);
+        self.telemetry = telemetry;
     }
 
     /// The derived timing constants in use.
@@ -131,11 +176,26 @@ impl MemoryTimingSim {
             }
             self.stats.requests += 1;
             self.stats.total_latency_ns += finish - req.arrival_ns;
+            self.metrics.requests.inc();
             match kind {
-                AccessKind::RowHit => self.stats.row_hits += 1,
-                AccessKind::RowClosed => self.stats.row_closed += 1,
-                AccessKind::RowConflict => self.stats.row_conflicts += 1,
+                AccessKind::RowHit => {
+                    self.stats.row_hits += 1;
+                    self.metrics.row_hits.inc();
+                }
+                AccessKind::RowClosed => {
+                    self.stats.row_closed += 1;
+                    self.metrics.row_closed.inc();
+                }
+                AccessKind::RowConflict => {
+                    self.stats.row_conflicts += 1;
+                    self.metrics.row_conflicts.inc();
+                }
             }
+            self.telemetry.emit(|| Event::RowBuffer {
+                bank: bank_idx,
+                row: loc.row.0,
+                outcome: kind.outcome_name(),
+            });
         }
         // Fold per-bank refresh-wait counters into the stats delta.
         let (mut waits, mut wait_ns) = (0u64, 0.0f64);

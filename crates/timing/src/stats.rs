@@ -49,8 +49,25 @@ impl TimingStats {
         }
     }
 
+    /// Accumulates another batch's statistics into this one. The mean
+    /// helpers over the result equal the means of the combined stream.
+    pub fn accumulate(&mut self, other: &TimingStats) {
+        self.requests += other.requests;
+        self.row_hits += other.row_hits;
+        self.row_closed += other.row_closed;
+        self.row_conflicts += other.row_conflicts;
+        self.refresh_stalled += other.refresh_stalled;
+        self.refresh_wait_ns += other.refresh_wait_ns;
+        self.total_latency_ns += other.total_latency_ns;
+        self.rank_wait_ns += other.rank_wait_ns;
+    }
+
     /// First-order IPC estimate for a core issuing this stream:
     /// `IPC = 1 / (base_cpi + mpki/1000 · latency_cycles / mlp)`.
+    ///
+    /// An `mlp` of zero (or less) models no memory-level parallelism at
+    /// all: the memory term diverges and the estimate is 0.0 (the
+    /// mathematical limit) instead of a division by zero.
     ///
     /// # Examples
     ///
@@ -64,6 +81,9 @@ impl TimingStats {
     /// assert!(ipc > 0.0 && ipc < 2.0);
     /// ```
     pub fn ipc_estimate(&self, base_cpi: f64, mpki: f64, mlp: f64, freq_ghz: f64) -> f64 {
+        if mlp <= 0.0 {
+            return 0.0;
+        }
         let latency_cycles = self.mean_latency_ns() * freq_ghz;
         1.0 / (base_cpi + mpki / 1000.0 * latency_cycles / mlp)
     }
@@ -79,6 +99,66 @@ mod tests {
         assert_eq!(s.mean_latency_ns(), 0.0);
         assert_eq!(s.hit_rate(), 0.0);
         assert_eq!(s.mean_refresh_wait_ns(), 0.0);
+    }
+
+    #[test]
+    fn ipc_with_zero_requests_is_base_cpi_bound() {
+        // No memory traffic: mean latency is 0, so IPC = 1 / base_cpi.
+        let s = TimingStats::default();
+        let ipc = s.ipc_estimate(0.5, 10.0, 4.0, 4.0);
+        assert!((ipc - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_mlp_yields_zero_ipc_not_a_division_by_zero() {
+        let s = TimingStats {
+            requests: 10,
+            total_latency_ns: 500.0,
+            ..Default::default()
+        };
+        assert_eq!(s.ipc_estimate(0.6, 10.0, 0.0, 4.0), 0.0);
+        assert_eq!(s.ipc_estimate(0.6, 10.0, -1.0, 4.0), 0.0);
+        assert!(s.ipc_estimate(0.6, 10.0, f64::MIN_POSITIVE, 4.0) >= 0.0);
+    }
+
+    #[test]
+    fn accumulate_then_estimate_matches_combined_stream() {
+        let a = TimingStats {
+            requests: 100,
+            row_hits: 60,
+            refresh_wait_ns: 400.0,
+            total_latency_ns: 5_000.0,
+            ..Default::default()
+        };
+        let b = TimingStats {
+            requests: 300,
+            row_hits: 90,
+            refresh_wait_ns: 800.0,
+            total_latency_ns: 33_000.0,
+            ..Default::default()
+        };
+        let mut acc = a;
+        acc.accumulate(&b);
+        let combined = TimingStats {
+            requests: 400,
+            row_hits: 150,
+            refresh_wait_ns: 1_200.0,
+            total_latency_ns: 38_000.0,
+            ..Default::default()
+        };
+        assert_eq!(acc, combined);
+        assert!((acc.mean_latency_ns() - 95.0).abs() < 1e-12);
+        assert!((acc.hit_rate() - 0.375).abs() < 1e-12);
+        assert!((acc.mean_refresh_wait_ns() - 3.0).abs() < 1e-12);
+        let ipc_acc = acc.ipc_estimate(0.6, 20.0, 5.0, 4.0);
+        let ipc_combined = combined.ipc_estimate(0.6, 20.0, 5.0, 4.0);
+        assert!((ipc_acc - ipc_combined).abs() < 1e-12);
+        // The accumulated estimate is NOT the mean of the per-batch
+        // estimates — it weights by request count, as the combined
+        // stream does.
+        let naive =
+            (a.ipc_estimate(0.6, 20.0, 5.0, 4.0) + b.ipc_estimate(0.6, 20.0, 5.0, 4.0)) / 2.0;
+        assert!((ipc_acc - naive).abs() > 1e-3);
     }
 
     #[test]

@@ -5,9 +5,37 @@
 //! Stages can be toggled individually through
 //! [`TransformConfig`] for ablation studies.
 
+use std::sync::Arc;
+
 use crate::{bitplane, ebdi, rotation};
+use zr_telemetry::{Counter, Event, Telemetry};
 use zr_types::geometry::RowIndex;
 use zr_types::{CachelineConfig, CellType, DramConfig, Result, SystemConfig, TransformConfig};
+
+/// Pre-resolved `transform.*` metric handles. Stage "pick rates" are the
+/// per-stage counters divided by the call counters.
+#[derive(Debug, Clone)]
+struct TransformMetrics {
+    encode_calls: Counter,
+    decode_calls: Counter,
+    stage_ebdi: Counter,
+    stage_bit_plane: Counter,
+    stage_inversion: Counter,
+    stage_rotation: Counter,
+}
+
+impl TransformMetrics {
+    fn new(telemetry: &Telemetry) -> Self {
+        TransformMetrics {
+            encode_calls: telemetry.counter("transform.encode.calls"),
+            decode_calls: telemetry.counter("transform.decode.calls"),
+            stage_ebdi: telemetry.counter("transform.encode.stage_ebdi"),
+            stage_bit_plane: telemetry.counter("transform.encode.stage_bit_plane"),
+            stage_inversion: telemetry.counter("transform.encode.stage_inversion"),
+            stage_rotation: telemetry.counter("transform.encode.stage_rotation"),
+        }
+    }
+}
 
 /// The CPU-side value transformation engine of ZERO-REFRESH.
 ///
@@ -34,6 +62,8 @@ pub struct ValueTransformer {
     line: CachelineConfig,
     stages: TransformConfig,
     dram: DramConfig,
+    telemetry: Arc<Telemetry>,
+    metrics: TransformMetrics,
 }
 
 impl ValueTransformer {
@@ -45,11 +75,21 @@ impl ValueTransformer {
     /// not validate.
     pub fn new(config: &SystemConfig) -> Result<Self> {
         config.validate()?;
+        let telemetry = Arc::clone(Telemetry::global());
         Ok(ValueTransformer {
             line: config.line,
             stages: config.transform,
             dram: config.dram.clone(),
+            metrics: TransformMetrics::new(&telemetry),
+            telemetry,
         })
+    }
+
+    /// Routes this transformer's metrics and events to `telemetry`
+    /// instead of the process-wide instance.
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        self.metrics = TransformMetrics::new(&telemetry);
+        self.telemetry = telemetry;
     }
 
     /// The cacheline geometry this transformer was built with.
@@ -74,18 +114,34 @@ impl ValueTransformer {
     /// Returns [`zr_types::Error::BadLength`] if `line` does not match the
     /// configured cacheline size.
     pub fn encode_in_place(&self, line: &mut [u8], row: RowIndex) -> Result<()> {
+        let span = self.telemetry.span("transform.encode");
+        let inverted = self.stages.cell_aware && self.cell_type(row) == CellType::Anti;
         if self.stages.ebdi {
             ebdi::encode_in_place(line, &self.line)?;
+            self.metrics.stage_ebdi.inc();
         }
         if self.stages.bit_plane {
             bitplane::transpose_in_place(line, &self.line)?;
+            self.metrics.stage_bit_plane.inc();
         }
-        if self.stages.cell_aware && self.cell_type(row) == CellType::Anti {
+        if inverted {
             invert(line);
+            self.metrics.stage_inversion.inc();
         }
         if self.stages.rotation {
             rotation::rotate_in_place(line, row, self.dram.num_chips)?;
+            self.metrics.stage_rotation.inc();
         }
+        self.metrics.encode_calls.inc();
+        self.telemetry.emit(|| Event::TransformStage {
+            op: "encode",
+            row: row.0,
+            ebdi: self.stages.ebdi,
+            bit_plane: self.stages.bit_plane,
+            inverted,
+            rotation: self.stages.rotation,
+        });
+        drop(span);
         Ok(())
     }
 
@@ -97,6 +153,7 @@ impl ValueTransformer {
     /// Returns [`zr_types::Error::BadLength`] if `line` does not match the
     /// configured cacheline size.
     pub fn decode_in_place(&self, line: &mut [u8], row: RowIndex) -> Result<()> {
+        self.metrics.decode_calls.inc();
         if self.stages.rotation {
             rotation::unrotate_in_place(line, row, self.dram.num_chips)?;
         }
