@@ -163,12 +163,48 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// The flight-recorder cost question: with `ZR_TRACE` unset the global
+/// recorder is inactive, so every instrumentation site reduces to a
+/// single relaxed load — `inactive` here must stay indistinguishable
+/// from `telemetry_overhead/refresh_window_inactive`. `active` measures
+/// the fully recording cost into an in-memory buffer.
+fn bench_trace_overhead(c: &mut Criterion) {
+    let cfg = SystemConfig::small_test();
+    let mut group = c.benchmark_group("trace_overhead");
+    group.bench_function("refresh_window_inactive", |b| {
+        let mut rank = DramRank::new(&cfg).unwrap();
+        let mut engine = RefreshEngine::new(&cfg, RefreshPolicy::ChargeAware).unwrap();
+        engine.set_telemetry(Arc::new(Telemetry::new()));
+        engine.set_trace(Arc::new(zr_trace::TraceRecorder::disabled()));
+        engine.run_window(&mut rank); // settle: subsequent windows skip
+        b.iter(|| engine.run_window(&mut rank))
+    });
+    group.bench_function("refresh_window_active", |b| {
+        let trace = Arc::new(zr_trace::TraceRecorder::memory());
+        let mut rank = DramRank::new(&cfg).unwrap();
+        let mut engine = RefreshEngine::new(&cfg, RefreshPolicy::ChargeAware).unwrap();
+        engine.set_telemetry(Arc::new(Telemetry::new()));
+        engine.set_trace(Arc::clone(&trace));
+        engine.run_window(&mut rank);
+        b.iter(|| {
+            engine.run_window(&mut rank);
+            // Drain so the memory buffer cannot grow without bound over
+            // the measurement.
+            if trace.recorded().is_multiple_of(4096) {
+                let _ = trace.take_bytes();
+            }
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_transform_stages,
     bench_full_pipeline,
     bench_refresh_engine,
     bench_controller_write,
-    bench_telemetry_overhead
+    bench_telemetry_overhead,
+    bench_trace_overhead
 );
 criterion_main!(benches);

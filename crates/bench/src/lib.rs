@@ -54,6 +54,8 @@ pub fn experiment_config() -> ExperimentConfig {
 /// the figure. When `ZR_TELEMETRY` (or the `ZR_JSON` alias) names an
 /// output directory, the event sink is flushed and the full metrics
 /// snapshot is written to `<dir>/<name>_snapshot.json` after the run.
+/// When `ZR_TRACE` is set, the process-wide flight recorder is finalized
+/// so the trace file on disk ends on a complete frame.
 ///
 /// The `src/bin/*` report binaries all go through this wrapper:
 ///
@@ -74,6 +76,14 @@ pub fn run_figure<T>(name: &str, f: impl FnOnce() -> T) -> T {
             Ok(()) => eprintln!("[zr-bench] wrote {}", path.display()),
             Err(e) => eprintln!("[zr-bench] failed to write {}: {e}", path.display()),
         }
+    }
+    let trace = zr_trace::TraceRecorder::global();
+    if trace.is_active() {
+        trace.finalize();
+        eprintln!(
+            "[zr-bench] finalized flight-recorder trace ({} records)",
+            trace.recorded()
+        );
     }
     out
 }

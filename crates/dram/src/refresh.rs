@@ -18,6 +18,10 @@ use std::sync::Arc;
 use crate::rank::DramRank;
 use crate::tracking::{AccessBitTable, DischargedStatusTable, NaiveSramTracker};
 use zr_telemetry::{fraction_bounds, Counter, Event, Histogram, Telemetry};
+use zr_trace::{
+    EngineMeta, RecordKind, TraceRecord, TraceRecorder, FLAG_DISCHARGED, FLAG_TRUSTED,
+    POLICY_CHARGE_AWARE, POLICY_CONVENTIONAL, POLICY_NAIVE_SRAM,
+};
 use zr_types::geometry::{BankId, ChipId, RowIndex};
 use zr_types::{Geometry, Result, SystemConfig};
 
@@ -42,6 +46,15 @@ impl RefreshPolicy {
             RefreshPolicy::Conventional => "conventional",
             RefreshPolicy::ChargeAware => "charge_aware",
             RefreshPolicy::NaiveSram => "naive_sram",
+        }
+    }
+
+    /// The flight-recorder policy tag carried by trace meta records.
+    fn trace_tag(&self) -> u16 {
+        match self {
+            RefreshPolicy::Conventional => POLICY_CONVENTIONAL,
+            RefreshPolicy::ChargeAware => POLICY_CHARGE_AWARE,
+            RefreshPolicy::NaiveSram => POLICY_NAIVE_SRAM,
         }
     }
 }
@@ -177,6 +190,12 @@ pub struct RefreshEngine {
     totals: WindowStats,
     telemetry: Arc<Telemetry>,
     metrics: RefreshMetrics,
+    trace: Arc<TraceRecorder>,
+    /// Flight-recorder source id; all this engine's records carry it
+    /// (clones share the id).
+    engine_id: u8,
+    /// Windows completed, for `WindowStart`/`WindowEnd` records.
+    window_index: u64,
 }
 
 impl RefreshEngine {
@@ -218,8 +237,12 @@ impl RefreshEngine {
             totals: WindowStats::default(),
             metrics: RefreshMetrics::new(&telemetry),
             telemetry,
+            trace: Arc::clone(TraceRecorder::global()),
+            engine_id: zr_trace::next_engine_id(),
+            window_index: 0,
         };
         engine.export_table_sizes();
+        engine.announce_trace();
         Ok(engine)
     }
 
@@ -229,6 +252,38 @@ impl RefreshEngine {
         self.metrics = RefreshMetrics::new(&telemetry);
         self.telemetry = telemetry;
         self.export_table_sizes();
+    }
+
+    /// Routes this engine's flight-recorder records to `trace` instead of
+    /// the process-wide recorder (hermetic tests), re-announcing the
+    /// engine's meta record there.
+    pub fn set_trace(&mut self, trace: Arc<TraceRecorder>) {
+        self.trace = trace;
+        self.announce_trace();
+    }
+
+    /// The flight-recorder source id of this engine's records.
+    pub fn trace_engine_id(&self) -> u8 {
+        self.engine_id
+    }
+
+    /// Emits the meta record registering this engine in the trace.
+    fn announce_trace(&self) {
+        if !self.trace.is_active() {
+            return;
+        }
+        self.trace.record(
+            EngineMeta {
+                engine: self.engine_id,
+                policy: self.policy.trace_tag(),
+                allbank: self.granularity == RefreshGranularity::AllBank,
+                num_banks: self.geom.num_banks() as u32,
+                num_chips: self.geom.num_chips() as u64,
+                ar_rows: self.geom.ar_rows(),
+                ar_sets_per_bank: self.geom.ar_sets_per_bank(),
+            }
+            .to_record(),
+        );
     }
 
     /// Publishes the (static) tracking-table sizes as gauges.
@@ -321,6 +376,12 @@ impl RefreshEngine {
     /// chip-rows span `num_chips` consecutive refresh steps, which may
     /// straddle two AR sets.
     pub fn note_write(&mut self, rank: &DramRank, bank: BankId, row: RowIndex) {
+        if self.trace.is_active() {
+            let mut rec = TraceRecord::new(RecordKind::Write, self.engine_id);
+            rec.bank = bank.0 as u32;
+            rec.a = row.0;
+            self.trace.record(rec);
+        }
         match self.policy {
             RefreshPolicy::Conventional => {}
             RefreshPolicy::ChargeAware => {
@@ -400,6 +461,10 @@ impl RefreshEngine {
         let chips = self.geom.num_chips();
         let first = set * ar;
         let mut out = ArOutcome::default();
+        let tracing = self.trace.is_active();
+        // Discharged chip-rows found by an untrusted scan; recorded in
+        // the RefIssue record so replay can verify later trusted skips.
+        let mut scan_discharged = 0u64;
 
         match self.policy {
             RefreshPolicy::Conventional => {
@@ -418,6 +483,16 @@ impl RefreshEngine {
                             out.rows_refreshed += 1;
                             let discharged = !rank.is_spared(bank, row)
                                 && rank.chip_row_is_discharged(ChipId(c), bank, row);
+                            if tracing && self.status.get(ChipId(c), bank, row) != discharged {
+                                let mut rec =
+                                    TraceRecord::new(RecordKind::ChargeTransition, self.engine_id);
+                                rec.flags = if discharged { FLAG_DISCHARGED } else { 0 };
+                                rec.bank = bank.0 as u32;
+                                rec.a = row.0;
+                                rec.b = c as u64;
+                                self.trace.record(rec);
+                            }
+                            scan_discharged += discharged as u64;
                             self.status.set(ChipId(c), bank, row, discharged);
                         }
                     }
@@ -455,6 +530,24 @@ impl RefreshEngine {
                     rows_refreshed: out.rows_refreshed,
                     rows_skipped: out.rows_skipped,
                 });
+                if tracing {
+                    let kind = if trusted {
+                        RecordKind::RefSkip
+                    } else {
+                        RecordKind::RefIssue
+                    };
+                    let mut rec = TraceRecord::new(kind, self.engine_id);
+                    rec.flags = if trusted { FLAG_TRUSTED } else { 0 };
+                    rec.bank = bank.0 as u32;
+                    rec.a = set;
+                    rec.b = out.rows_refreshed;
+                    rec.c = if trusted {
+                        out.rows_skipped
+                    } else {
+                        scan_discharged
+                    };
+                    self.trace.record(rec);
+                }
             }
             RefreshPolicy::NaiveSram => {
                 let naive = self.naive.as_ref().expect("naive policy has tracker");
@@ -475,6 +568,22 @@ impl RefreshEngine {
             }
         }
 
+        if tracing && self.policy != RefreshPolicy::ChargeAware {
+            // Non-charge-aware engines still leave a REF stream for
+            // `zr-trace diff`; replay does not verify them.
+            let kind = if out.rows_skipped > 0 {
+                RecordKind::RefSkip
+            } else {
+                RecordKind::RefIssue
+            };
+            let mut rec = TraceRecord::new(kind, self.engine_id);
+            rec.bank = bank.0 as u32;
+            rec.a = set;
+            rec.b = out.rows_refreshed;
+            rec.c = out.rows_skipped;
+            self.trace.record(rec);
+        }
+
         out
     }
 
@@ -483,6 +592,11 @@ impl RefreshEngine {
     /// Returns the statistics of just this window.
     pub fn run_window(&mut self, rank: &mut DramRank) -> WindowStats {
         let span = self.telemetry.span("refresh.window");
+        if self.trace.is_active() {
+            let mut rec = TraceRecord::new(RecordKind::WindowStart, self.engine_id);
+            rec.a = self.window_index;
+            self.trace.record(rec);
+        }
         let before = self.totals;
         for set in 0..self.geom.ar_sets_per_bank() {
             match self.granularity {
@@ -515,6 +629,14 @@ impl RefreshEngine {
             table_writes: window.table_writes,
             skip_fraction: window.skip_fraction(),
         });
+        if self.trace.is_active() {
+            let mut rec = TraceRecord::new(RecordKind::WindowEnd, self.engine_id);
+            rec.a = self.window_index;
+            rec.b = window.rows_refreshed;
+            rec.c = window.rows_skipped;
+            self.trace.record(rec);
+        }
+        self.window_index += 1;
         drop(span);
         window
     }

@@ -16,6 +16,7 @@ use std::sync::Arc;
 
 use crate::controller::MemoryController;
 use zr_telemetry::{Counter, Event, Telemetry};
+use zr_trace::{RecordKind, TraceRecord, TraceRecorder, SRC_CACHE};
 use zr_types::geometry::LineAddr;
 use zr_types::{Error, Result};
 
@@ -101,6 +102,7 @@ pub struct LastLevelCache {
     stats: CacheStats,
     telemetry: Arc<Telemetry>,
     metrics: CacheMetrics,
+    trace: Arc<TraceRecorder>,
 }
 
 impl LastLevelCache {
@@ -133,6 +135,7 @@ impl LastLevelCache {
             stats: CacheStats::default(),
             metrics: CacheMetrics::new(&telemetry),
             telemetry,
+            trace: Arc::clone(TraceRecorder::global()),
         })
     }
 
@@ -141,6 +144,12 @@ impl LastLevelCache {
     pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
         self.metrics = CacheMetrics::new(&telemetry);
         self.telemetry = telemetry;
+    }
+
+    /// Routes this cache's flight-recorder records to `trace` instead of
+    /// the process-wide recorder.
+    pub fn set_trace(&mut self, trace: Arc<TraceRecorder>) {
+        self.trace = trace;
     }
 
     /// Number of sets.
@@ -194,6 +203,12 @@ impl LastLevelCache {
                     set,
                     line: victim_addr.0,
                 });
+                if self.trace.is_active() {
+                    let mut rec = TraceRecord::new(RecordKind::Writeback, SRC_CACHE);
+                    rec.bank = set as u32;
+                    rec.a = victim_addr.0;
+                    self.trace.record(rec);
+                }
                 mem.write_line(victim_addr, &victim.data)?;
             }
         }

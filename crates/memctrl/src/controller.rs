@@ -4,6 +4,7 @@ use std::sync::Arc;
 
 use zr_dram::{DramRank, RefreshEngine, RefreshPolicy, WindowStats};
 use zr_telemetry::{Counter, Telemetry};
+use zr_trace::{RecordKind, TraceRecord, TraceRecorder, SRC_MEMCTRL};
 use zr_transform::ValueTransformer;
 use zr_types::geometry::{LineAddr, LineLocation};
 use zr_types::{Error, Geometry, Result, SystemConfig};
@@ -54,6 +55,7 @@ pub struct MemoryController {
     engine: RefreshEngine,
     stats: AccessStats,
     metrics: ControllerMetrics,
+    trace: Arc<TraceRecorder>,
 }
 
 impl MemoryController {
@@ -71,6 +73,7 @@ impl MemoryController {
             engine: RefreshEngine::new(config, policy)?,
             stats: AccessStats::default(),
             metrics: ControllerMetrics::new(Telemetry::global()),
+            trace: Arc::clone(TraceRecorder::global()),
         })
     }
 
@@ -81,6 +84,15 @@ impl MemoryController {
         self.metrics = ControllerMetrics::new(&telemetry);
         self.engine.set_telemetry(Arc::clone(&telemetry));
         self.transformer.set_telemetry(telemetry);
+    }
+
+    /// Routes this controller's flight-recorder records — and those of
+    /// its refresh engine and transformer — to `trace` instead of the
+    /// process-wide recorder (hermetic tests).
+    pub fn set_trace(&mut self, trace: Arc<TraceRecorder>) {
+        self.engine.set_trace(Arc::clone(&trace));
+        self.transformer.set_trace(Arc::clone(&trace));
+        self.trace = trace;
     }
 
     /// The derived geometry.
@@ -128,6 +140,13 @@ impl MemoryController {
         self.engine.note_write(&self.rank, loc.bank, loc.row);
         self.stats.writes += 1;
         self.metrics.writes.inc();
+        if self.trace.is_active() {
+            let mut rec = TraceRecord::new(RecordKind::McWrite, SRC_MEMCTRL);
+            rec.bank = loc.bank.0 as u32;
+            rec.a = loc.row.0;
+            rec.b = loc.slot as u64;
+            self.trace.record(rec);
+        }
         Ok(())
     }
 
@@ -143,6 +162,13 @@ impl MemoryController {
         let line = self.transformer.decode(&encoded, loc.row)?;
         self.stats.reads += 1;
         self.metrics.reads.inc();
+        if self.trace.is_active() {
+            let mut rec = TraceRecord::new(RecordKind::McRead, SRC_MEMCTRL);
+            rec.bank = loc.bank.0 as u32;
+            rec.a = loc.row.0;
+            rec.b = loc.slot as u64;
+            self.trace.record(rec);
+        }
         Ok(line)
     }
 

@@ -49,12 +49,42 @@ pub const ENV_DIR: &str = "ZR_TELEMETRY";
 pub const ENV_DIR_ALIAS: &str = "ZR_JSON";
 
 /// Output directory requested through the environment:
-/// [`ENV_DIR`] first, falling back to the [`ENV_DIR_ALIAS`].
+/// [`ENV_DIR`] first, falling back to the [`ENV_DIR_ALIAS`]. Warns once
+/// per process (on stderr) when only the deprecated alias is set.
 pub fn output_dir() -> Option<PathBuf> {
-    std::env::var_os(ENV_DIR)
-        .or_else(|| std::env::var_os(ENV_DIR_ALIAS))
-        .filter(|v| !v.is_empty())
-        .map(PathBuf::from)
+    let (dir, used_alias) = resolve_output_dir(
+        std::env::var_os(ENV_DIR).map(PathBuf::from),
+        std::env::var_os(ENV_DIR_ALIAS).map(PathBuf::from),
+    );
+    if used_alias {
+        warn_alias_once();
+    }
+    dir
+}
+
+/// Pure resolution of the two environment values: the primary wins; the
+/// alias is used (and flagged, for the one-time deprecation warning)
+/// only when the primary is unset or empty. Empty values count as
+/// unset.
+fn resolve_output_dir(primary: Option<PathBuf>, alias: Option<PathBuf>) -> (Option<PathBuf>, bool) {
+    let primary = primary.filter(|v| !v.as_os_str().is_empty());
+    let alias = alias.filter(|v| !v.as_os_str().is_empty());
+    match (primary, alias) {
+        (Some(dir), _) => (Some(dir), false),
+        (None, Some(dir)) => (Some(dir), true),
+        (None, None) => (None, false),
+    }
+}
+
+/// Emits the `ZR_JSON` deprecation warning at most once per process.
+fn warn_alias_once() {
+    static WARNED: AtomicBool = AtomicBool::new(false);
+    if !WARNED.swap(true, Ordering::Relaxed) {
+        eprintln!(
+            "zr-telemetry: {ENV_DIR_ALIAS} is deprecated and will be removed; \
+             set {ENV_DIR} instead"
+        );
+    }
 }
 
 /// One telemetry instance: a metric registry, an optional event sink
@@ -298,6 +328,28 @@ mod tests {
         t.clear_sink();
         assert!(!t.is_active());
         t.emit(|| unreachable!("emit must be skipped after clear_sink"));
+    }
+
+    #[test]
+    fn alias_resolution_prefers_primary_and_flags_alias_use() {
+        let p = |s: &str| Some(PathBuf::from(s));
+        // Primary set: used, no deprecation flag even when both are set.
+        assert_eq!(resolve_output_dir(p("a"), p("b")), (p("a"), false));
+        assert_eq!(resolve_output_dir(p("a"), None), (p("a"), false));
+        // Alias only: used, flagged for the one-time warning.
+        assert_eq!(resolve_output_dir(None, p("b")), (p("b"), true));
+        // Empty values count as unset.
+        assert_eq!(resolve_output_dir(p(""), p("b")), (p("b"), true));
+        assert_eq!(resolve_output_dir(p(""), p("")), (None, false));
+        assert_eq!(resolve_output_dir(None, None), (None, false));
+    }
+
+    #[test]
+    fn alias_warning_fires_once() {
+        // The one-time latch: both calls succeed, and the second is a
+        // no-op regardless of how many other tests already tripped it.
+        warn_alias_once();
+        warn_alias_once();
     }
 
     #[test]

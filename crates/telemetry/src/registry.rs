@@ -189,6 +189,46 @@ pub struct HistogramSnapshot {
     pub max: f64,
 }
 
+impl HistogramSnapshot {
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`, clamped) by linear
+    /// interpolation within the bucket containing the target rank.
+    ///
+    /// Returns `None` for an empty histogram. Estimates are clamped to
+    /// the exact `[min, max]` range, so single-observation and
+    /// single-bucket snapshots report exact values, and ranks landing in
+    /// the unbounded overflow bucket report `max`.
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based.
+        let rank = (q * self.count as f64).max(1.0);
+        let mut seen = 0u64;
+        for (i, &bucket) in self.buckets.iter().enumerate() {
+            if bucket == 0 {
+                continue;
+            }
+            let upto = seen + bucket;
+            if (upto as f64) >= rank {
+                // The target rank is inside bucket i. The overflow
+                // bucket has no upper bound to interpolate toward, so it
+                // reports the exact max.
+                if i == self.bounds.len() {
+                    return Some(self.max);
+                }
+                let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let hi = self.bounds[i];
+                let frac = (rank - seen as f64) / bucket as f64;
+                let est = lo + (hi - lo) * frac;
+                return Some(est.clamp(self.min, self.max));
+            }
+            seen = upto;
+        }
+        Some(self.max)
+    }
+}
+
 /// Point-in-time state of a whole [`Registry`], as written to
 /// `<ZR_TELEMETRY>/<name>_snapshot.json` by the bench harness.
 #[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
@@ -351,6 +391,54 @@ mod tests {
         assert_eq!(back, snap);
         assert_eq!(back.counter("x"), 7);
         assert_eq!(back.counter("missing"), 0);
+    }
+
+    #[test]
+    fn percentile_of_empty_histogram_is_none() {
+        let s = Histogram::new(&fraction_bounds()).snapshot();
+        assert_eq!(s.percentile(0.5), None);
+    }
+
+    #[test]
+    fn percentile_single_bucket_reports_exact_value() {
+        let h = Histogram::new(&fraction_bounds());
+        h.observe(0.42);
+        let s = h.snapshot();
+        // One observation: every quantile is that observation (the
+        // interpolated estimate clamps to [min, max] = [0.42, 0.42]).
+        assert_eq!(s.percentile(0.0), Some(0.42));
+        assert_eq!(s.percentile(0.5), Some(0.42));
+        assert_eq!(s.percentile(1.0), Some(0.42));
+    }
+
+    #[test]
+    fn percentile_overflow_bucket_reports_max() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        h.observe(0.5);
+        h.observe(50.0);
+        h.observe(80.0);
+        let s = h.snapshot();
+        // p99 lands in the overflow bucket, which has no upper bound.
+        assert_eq!(s.percentile(0.99), Some(80.0));
+        assert_eq!(s.percentile(1.0), Some(80.0));
+    }
+
+    #[test]
+    fn percentile_interpolates_and_orders() {
+        let h = Histogram::new(&fraction_bounds());
+        for i in 0..100 {
+            h.observe(i as f64 / 100.0);
+        }
+        let s = h.snapshot();
+        let p50 = s.percentile(0.5).unwrap();
+        let p90 = s.percentile(0.9).unwrap();
+        let p99 = s.percentile(0.99).unwrap();
+        assert!((p50 - 0.5).abs() < 0.06, "p50 = {p50}");
+        assert!((p90 - 0.9).abs() < 0.06, "p90 = {p90}");
+        assert!(p50 <= p90 && p90 <= p99);
+        // Out-of-range q is clamped, not an error.
+        assert_eq!(s.percentile(7.0), s.percentile(1.0));
+        assert_eq!(s.percentile(-3.0), s.percentile(0.0));
     }
 
     #[test]

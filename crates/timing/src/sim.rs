@@ -7,6 +7,7 @@ use crate::params::DerivedTiming;
 use crate::requests::MemoryRequest;
 use crate::stats::TimingStats;
 use zr_telemetry::{Counter, Event, Telemetry};
+use zr_trace::{RecordKind, TraceRecord, TraceRecorder, FLAG_WRITE, SRC_TIMING};
 use zr_types::{Error, Geometry, Result, SystemConfig};
 
 /// Pre-resolved `timing.*` metric handles.
@@ -93,6 +94,7 @@ pub struct MemoryTimingSim {
     stats: TimingStats,
     telemetry: Arc<Telemetry>,
     metrics: TimingMetrics,
+    trace: Arc<TraceRecorder>,
 }
 
 impl MemoryTimingSim {
@@ -130,6 +132,7 @@ impl MemoryTimingSim {
             stats: TimingStats::default(),
             metrics: TimingMetrics::new(&telemetry),
             telemetry,
+            trace: Arc::clone(TraceRecorder::global()),
         })
     }
 
@@ -138,6 +141,12 @@ impl MemoryTimingSim {
     pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
         self.metrics = TimingMetrics::new(&telemetry);
         self.telemetry = telemetry;
+    }
+
+    /// Routes this simulator's flight-recorder records to `trace`
+    /// instead of the process-wide recorder (hermetic tests).
+    pub fn set_trace(&mut self, trace: Arc<TraceRecorder>) {
+        self.trace = trace;
     }
 
     /// The derived timing constants in use.
@@ -196,6 +205,9 @@ impl MemoryTimingSim {
                 row: loc.row.0,
                 outcome: kind.outcome_name(),
             });
+            if self.trace.is_active() {
+                self.trace_commands(req, bank_idx, loc.row.0, kind, finish);
+            }
         }
         // Fold per-bank refresh-wait counters into the stats delta.
         let (mut waits, mut wait_ns) = (0u64, 0.0f64);
@@ -217,6 +229,44 @@ impl MemoryTimingSim {
         delta.total_latency_ns -= before.total_latency_ns;
         delta.rank_wait_ns -= before.rank_wait_ns;
         Ok(delta)
+    }
+
+    /// Records the implied DRAM command sequence of one request: PRE on
+    /// a conflict, ACT when the row had to be opened, then the column
+    /// RD/WR. Command times are reconstructed backward from `finish`
+    /// with the derived timing constants.
+    fn trace_commands(
+        &self,
+        req: &MemoryRequest,
+        bank: usize,
+        row: u64,
+        kind: AccessKind,
+        finish: f64,
+    ) {
+        let t = &self.timing;
+        let cas_start = finish - t.t_burst_ns - t.cl_ns;
+        let push = |k: RecordKind, flags: u16, start: f64, end: f64| {
+            let mut rec = TraceRecord::new(k, SRC_TIMING);
+            rec.flags = flags;
+            rec.bank = bank as u32;
+            rec.a = row;
+            rec.b = start.to_bits();
+            rec.c = end.to_bits();
+            self.trace.record(rec);
+        };
+        if kind != AccessKind::RowHit {
+            let act_start = cas_start - t.t_rcd_ns;
+            if kind == AccessKind::RowConflict {
+                push(RecordKind::Pre, 0, act_start - t.t_rp_ns, act_start);
+            }
+            push(RecordKind::Act, 0, act_start, cas_start);
+        }
+        let (col, flags) = if req.is_write {
+            (RecordKind::Wr, FLAG_WRITE)
+        } else {
+            (RecordKind::Rd, 0)
+        };
+        push(col, flags, cas_start, finish);
     }
 
     fn rank_constrained_arrival(&mut self, arrival_ns: f64) -> f64 {

@@ -1,0 +1,105 @@
+//! The read side of the trace format: frame walking and validation.
+
+use std::path::Path;
+
+use crate::record::{check_header, TraceRecord, FRAME_PREFIX_BYTES, HEADER_BYTES, RECORD_BYTES};
+use zr_types::{Error, Result};
+
+/// Parses a serialized trace (header + frames) into its records.
+///
+/// A truncated final frame — the normal result of a crashed run — is
+/// tolerated: complete records up to the torn point are returned.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidConfig`] for a bad header or a structurally
+/// corrupt frame (length not a record multiple, count mismatch).
+pub fn parse_trace(bytes: &[u8]) -> Result<Vec<TraceRecord>> {
+    check_header(bytes)?;
+    let mut records = Vec::new();
+    let mut at = HEADER_BYTES;
+    while at < bytes.len() {
+        if bytes.len() - at < FRAME_PREFIX_BYTES {
+            break; // torn frame prefix: tolerate the tail
+        }
+        let len = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes")) as usize;
+        let count = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().expect("4 bytes")) as usize;
+        if !len.is_multiple_of(RECORD_BYTES) || len / RECORD_BYTES != count {
+            return Err(Error::invalid_config(format!(
+                "corrupt frame at byte {at}: {len} bytes for {count} records"
+            )));
+        }
+        at += FRAME_PREFIX_BYTES;
+        let avail = (bytes.len() - at).min(len);
+        for chunk in bytes[at..at + avail].chunks_exact(RECORD_BYTES) {
+            records.push(TraceRecord::decode(chunk)?);
+        }
+        if avail < len {
+            break; // torn frame payload
+        }
+        at += len;
+    }
+    Ok(records)
+}
+
+/// Reads and parses a trace file.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidConfig`] wrapping IO failures and the parse
+/// errors of [`parse_trace`].
+pub fn read_trace(path: &Path) -> Result<Vec<TraceRecord>> {
+    let bytes = std::fs::read(path)
+        .map_err(|e| Error::invalid_config(format!("cannot read {}: {e}", path.display())))?;
+    parse_trace(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{encode_header, RecordKind};
+    use crate::recorder::TraceRecorder;
+
+    fn sample_trace(n: u64) -> Vec<u8> {
+        let t = TraceRecorder::memory();
+        for i in 0..n {
+            let mut r = TraceRecord::new(RecordKind::Write, 0);
+            r.a = i;
+            t.record(r);
+        }
+        t.take_bytes()
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        assert!(parse_trace(&encode_header()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn torn_tail_is_tolerated() {
+        let bytes = sample_trace(10);
+        // Chop mid-record: 9 complete records remain.
+        let torn = &bytes[..bytes.len() - RECORD_BYTES - 7];
+        let records = parse_trace(torn).unwrap();
+        assert_eq!(records.len(), 8);
+        // Chop mid-prefix.
+        let torn = &bytes[..HEADER_BYTES + 3];
+        assert!(parse_trace(torn).unwrap().is_empty());
+    }
+
+    #[test]
+    fn corrupt_frame_prefix_rejected() {
+        let mut bytes = sample_trace(4);
+        // Make len not a multiple of the record size.
+        bytes[HEADER_BYTES] = 7;
+        bytes[HEADER_BYTES + 1] = 0;
+        bytes[HEADER_BYTES + 2] = 0;
+        bytes[HEADER_BYTES + 3] = 0;
+        assert!(parse_trace(&bytes).is_err());
+    }
+
+    #[test]
+    fn read_trace_missing_file_errors() {
+        assert!(read_trace(Path::new("/nonexistent/zr.zrt")).is_err());
+    }
+}

@@ -1,0 +1,411 @@
+//! The flight recorder: the write side of the trace format.
+//!
+//! [`TraceRecorder`] mirrors `zr-telemetry`'s activation pattern: a
+//! process-wide [`TraceRecorder::global`] instance initialized from the
+//! `ZR_TRACE` environment variable, plus `set_trace(Arc<TraceRecorder>)`
+//! setters on every instrumented component so tests can install a private
+//! recorder hermetically. When inactive, [`TraceRecorder::record`] is a
+//! single relaxed atomic load.
+//!
+//! Three targets are supported:
+//!
+//! - **file** — frames stream to disk as they fill (the `ZR_TRACE` default);
+//! - **ring** — a bounded in-memory deque of sealed frames; only the last
+//!   `N` frames survive to [`TraceRecorder::finalize`], for crash triage
+//!   of long runs (`ZR_TRACE_RING=<frames>`);
+//! - **memory** — everything buffered in memory, retrievable with
+//!   [`TraceRecorder::take_bytes`] (tests, programmatic consumers).
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::record::{
+    encode_header, TraceRecord, ENGINE_ID_LIMIT, FRAME_PREFIX_BYTES, RECORDS_PER_FRAME,
+    RECORD_BYTES,
+};
+
+/// Environment variable activating the global recorder: a directory (the
+/// trace goes to `<dir>/trace.zrt`) or an explicit `.zrt` file path.
+pub const ENV_TRACE: &str = "ZR_TRACE";
+
+/// Environment variable selecting bounded ring-buffer mode: the number of
+/// sealed frames (of [`RECORDS_PER_FRAME`] records each) to keep.
+pub const ENV_TRACE_RING: &str = "ZR_TRACE_RING";
+
+/// Default trace file name when `ZR_TRACE` names a directory.
+pub const DEFAULT_FILE_NAME: &str = "trace.zrt";
+
+/// Allocates a process-unique refresh-engine instance id, wrapping below
+/// [`ENGINE_ID_LIMIT`] so engine ids never collide with component ids.
+pub fn next_engine_id() -> u8 {
+    static NEXT: AtomicU8 = AtomicU8::new(0);
+    loop {
+        let id = NEXT.fetch_add(1, Ordering::Relaxed);
+        if id < ENGINE_ID_LIMIT {
+            return id;
+        }
+        // Wrapped into the component-id range: reset and retry.
+        NEXT.store(0, Ordering::Relaxed);
+    }
+}
+
+#[derive(Debug)]
+enum Target {
+    /// Full trace kept in memory (header written at take time).
+    Memory(Vec<u8>),
+    /// Frames stream to an open file (header already written).
+    File(File),
+    /// Bounded deque of sealed frames, flushed to `path` at finalize.
+    Ring {
+        frames: VecDeque<Vec<u8>>,
+        max_frames: usize,
+        evicted: u64,
+        path: PathBuf,
+    },
+}
+
+#[derive(Debug)]
+struct Inner {
+    target: Target,
+    /// Records of the currently open (unsealed) frame.
+    frame: Vec<u8>,
+    frame_records: u32,
+}
+
+impl Inner {
+    /// Encodes the open frame into `[len][count]payload` bytes.
+    fn sealed_frame(&mut self) -> Option<Vec<u8>> {
+        if self.frame_records == 0 {
+            return None;
+        }
+        let mut out = Vec::with_capacity(FRAME_PREFIX_BYTES + self.frame.len());
+        out.extend_from_slice(&(self.frame.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.frame_records.to_le_bytes());
+        out.extend_from_slice(&self.frame);
+        self.frame.clear();
+        self.frame_records = 0;
+        Some(out)
+    }
+
+    fn seal(&mut self) -> std::io::Result<()> {
+        let Some(frame) = self.sealed_frame() else {
+            return Ok(());
+        };
+        match &mut self.target {
+            Target::Memory(buf) => buf.extend_from_slice(&frame),
+            Target::File(f) => f.write_all(&frame)?,
+            Target::Ring {
+                frames,
+                max_frames,
+                evicted,
+                ..
+            } => {
+                frames.push_back(frame);
+                while frames.len() > *max_frames {
+                    frames.pop_front();
+                    *evicted += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The cycle-level flight recorder. See the [module docs](self).
+#[derive(Debug)]
+pub struct TraceRecorder {
+    active: AtomicBool,
+    records: AtomicU64,
+    inner: Mutex<Option<Inner>>,
+}
+
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        TraceRecorder::disabled()
+    }
+}
+
+impl TraceRecorder {
+    /// An inactive recorder: every [`Self::record`] call is one relaxed
+    /// atomic load.
+    pub fn disabled() -> Self {
+        TraceRecorder {
+            active: AtomicBool::new(false),
+            records: AtomicU64::new(0),
+            inner: Mutex::new(None),
+        }
+    }
+
+    /// A recorder buffering the whole trace in memory.
+    pub fn memory() -> Self {
+        Self::with_target(Target::Memory(Vec::new()))
+    }
+
+    /// A recorder streaming frames to `path`, writing the header eagerly.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying IO error if the file cannot be created.
+    pub fn file(path: &Path) -> std::io::Result<Self> {
+        let mut f = File::create(path)?;
+        f.write_all(&encode_header())?;
+        Ok(Self::with_target(Target::File(f)))
+    }
+
+    /// A bounded ring recorder keeping the last `max_frames` sealed frames
+    /// (plus the open frame); the survivors are written to `path` by
+    /// [`Self::finalize`].
+    pub fn ring(path: &Path, max_frames: usize) -> Self {
+        Self::with_target(Target::Ring {
+            frames: VecDeque::new(),
+            max_frames: max_frames.max(1),
+            evicted: 0,
+            path: path.to_path_buf(),
+        })
+    }
+
+    fn with_target(target: Target) -> Self {
+        TraceRecorder {
+            active: AtomicBool::new(true),
+            records: AtomicU64::new(0),
+            inner: Mutex::new(Some(Inner {
+                target,
+                frame: Vec::with_capacity(RECORDS_PER_FRAME * RECORD_BYTES),
+                frame_records: 0,
+            })),
+        }
+    }
+
+    /// The process-wide recorder. First access initializes it from
+    /// `ZR_TRACE` / `ZR_TRACE_RING`; with neither set it is the inert
+    /// [`Self::disabled`] instance.
+    pub fn global() -> &'static Arc<TraceRecorder> {
+        static GLOBAL: OnceLock<Arc<TraceRecorder>> = OnceLock::new();
+        GLOBAL.get_or_init(|| Arc::new(TraceRecorder::from_env()))
+    }
+
+    /// Builds a recorder from the environment (see [`Self::global`]).
+    pub fn from_env() -> TraceRecorder {
+        let Some(dest) = std::env::var_os(ENV_TRACE).filter(|v| !v.is_empty()) else {
+            return TraceRecorder::disabled();
+        };
+        let dest = PathBuf::from(dest);
+        let path = if dest.extension().is_some() {
+            if let Some(parent) = dest.parent().filter(|p| !p.as_os_str().is_empty()) {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            dest
+        } else {
+            let _ = std::fs::create_dir_all(&dest);
+            dest.join(DEFAULT_FILE_NAME)
+        };
+        let ring = std::env::var(ENV_TRACE_RING)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0);
+        match ring {
+            Some(frames) => TraceRecorder::ring(&path, frames),
+            None => match TraceRecorder::file(&path) {
+                Ok(r) => r,
+                Err(err) => {
+                    eprintln!("zr-trace: cannot open {}: {err}", path.display());
+                    TraceRecorder::disabled()
+                }
+            },
+        }
+    }
+
+    /// Whether recording is live. Instrumented code may check this (one
+    /// relaxed load) before computing anything record-specific.
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    /// Appends one record. A no-op (single relaxed load) when inactive.
+    #[inline]
+    pub fn record(&self, rec: TraceRecord) {
+        if !self.is_active() {
+            return;
+        }
+        self.record_slow(rec);
+    }
+
+    fn record_slow(&self, rec: TraceRecord) {
+        let mut guard = self.inner.lock().expect("trace lock");
+        let Some(inner) = guard.as_mut() else {
+            return;
+        };
+        inner.frame.extend_from_slice(&rec.encode());
+        inner.frame_records += 1;
+        self.records.fetch_add(1, Ordering::Relaxed);
+        if inner.frame_records as usize >= RECORDS_PER_FRAME {
+            if let Err(err) = inner.seal() {
+                eprintln!("zr-trace: write failed, disabling recorder: {err}");
+                *guard = None;
+                self.active.store(false, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Records appended so far (including ring-evicted ones).
+    pub fn recorded(&self) -> u64 {
+        self.records.load(Ordering::Relaxed)
+    }
+
+    /// Seals the open frame and flushes everything to the target: ring
+    /// survivors are written to their file (header first), file targets
+    /// are synced. Safe to call repeatedly; later records keep appending
+    /// (ring targets write again on the next finalize).
+    pub fn finalize(&self) {
+        let mut guard = self.inner.lock().expect("trace lock");
+        let Some(inner) = guard.as_mut() else {
+            return;
+        };
+        if let Err(err) = inner.seal() {
+            eprintln!("zr-trace: finalize write failed: {err}");
+            return;
+        }
+        match &mut inner.target {
+            Target::Memory(_) => {}
+            Target::File(f) => {
+                let _ = f.flush();
+            }
+            Target::Ring {
+                frames,
+                evicted,
+                path,
+                ..
+            } => {
+                let write = || -> std::io::Result<()> {
+                    let mut f = File::create(&*path)?;
+                    f.write_all(&encode_header())?;
+                    for frame in frames.iter() {
+                        f.write_all(frame)?;
+                    }
+                    f.flush()
+                };
+                if let Err(err) = write() {
+                    eprintln!(
+                        "zr-trace: cannot write ring trace {}: {err}",
+                        path.display()
+                    );
+                } else if *evicted > 0 {
+                    eprintln!(
+                        "zr-trace: ring evicted {evicted} frame(s); {} kept",
+                        frames.len()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Seals the open frame and returns the full serialized trace (header
+    /// + frames) of a memory recorder; empty for other targets.
+    pub fn take_bytes(&self) -> Vec<u8> {
+        let mut guard = self.inner.lock().expect("trace lock");
+        let Some(inner) = guard.as_mut() else {
+            return Vec::new();
+        };
+        let _ = inner.seal();
+        match &mut inner.target {
+            Target::Memory(buf) => {
+                let mut out = encode_header().to_vec();
+                out.append(buf);
+                out
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+impl Drop for TraceRecorder {
+    fn drop(&mut self) {
+        self.finalize();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::parse_trace;
+    use crate::record::RecordKind;
+
+    fn rec(a: u64) -> TraceRecord {
+        let mut r = TraceRecord::new(RecordKind::Write, 1);
+        r.a = a;
+        r
+    }
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let t = TraceRecorder::disabled();
+        assert!(!t.is_active());
+        t.record(rec(1));
+        assert_eq!(t.recorded(), 0);
+        assert!(t.take_bytes().is_empty());
+        t.finalize(); // must not panic
+    }
+
+    #[test]
+    fn memory_recorder_round_trips_frames() {
+        let t = TraceRecorder::memory();
+        // Cross a frame boundary to exercise sealing.
+        let n = RECORDS_PER_FRAME as u64 + 10;
+        for i in 0..n {
+            t.record(rec(i));
+        }
+        assert_eq!(t.recorded(), n);
+        let records = parse_trace(&t.take_bytes()).unwrap();
+        assert_eq!(records.len(), n as usize);
+        assert_eq!(records[0].a, 0);
+        assert_eq!(records[n as usize - 1].a, n - 1);
+    }
+
+    #[test]
+    fn file_recorder_writes_readable_trace() {
+        let dir = std::env::temp_dir().join(format!("zr-trace-file-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.zrt");
+        let t = TraceRecorder::file(&path).unwrap();
+        for i in 0..5 {
+            t.record(rec(i));
+        }
+        t.finalize();
+        let records = parse_trace(&std::fs::read(&path).unwrap()).unwrap();
+        assert_eq!(records.len(), 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ring_recorder_keeps_only_last_frames() {
+        let dir = std::env::temp_dir().join(format!("zr-trace-ring-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ring.zrt");
+        let t = TraceRecorder::ring(&path, 2);
+        // 4 full frames + 3 spare records; finalize seals the tail into
+        // the ring, so the last 2 frames (one full + the tail) survive.
+        let total = 4 * RECORDS_PER_FRAME as u64 + 3;
+        for i in 0..total {
+            t.record(rec(i));
+        }
+        t.finalize();
+        let records = parse_trace(&std::fs::read(&path).unwrap()).unwrap();
+        assert_eq!(records.len(), RECORDS_PER_FRAME + 3);
+        assert_eq!(records[0].a, total - records.len() as u64);
+        assert_eq!(records.last().unwrap().a, total - 1);
+        assert_eq!(t.recorded(), total);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn engine_ids_stay_below_component_range() {
+        for _ in 0..600 {
+            assert!(next_engine_id() < ENGINE_ID_LIMIT);
+        }
+    }
+}

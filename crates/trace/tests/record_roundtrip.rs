@@ -1,0 +1,61 @@
+//! Property tests for the 32-byte record codec: every representable
+//! record must survive encode → decode bit-exactly, and the decoder must
+//! never panic on arbitrary input.
+
+use proptest::prelude::*;
+use zr_trace::{RecordKind, TraceRecord, RECORD_BYTES};
+
+fn arb_kind() -> impl Strategy<Value = RecordKind> {
+    (0usize..RecordKind::ALL.len()).prop_map(|i| RecordKind::ALL[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn encode_decode_round_trips(
+        kind in arb_kind(),
+        src in any::<u8>(),
+        flags in any::<u16>(),
+        bank in any::<u32>(),
+        a in any::<u64>(),
+        b in any::<u64>(),
+        c in any::<u64>(),
+    ) {
+        let rec = TraceRecord { kind, src, flags, bank, a, b, c };
+        let bytes = rec.encode();
+        prop_assert_eq!(bytes.len(), RECORD_BYTES);
+        prop_assert_eq!(TraceRecord::decode(&bytes).unwrap(), rec);
+    }
+
+    #[test]
+    fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        // Arbitrary bytes either decode or error; they must never panic.
+        let _ = TraceRecord::decode(&bytes);
+    }
+
+    #[test]
+    fn decode_ignores_trailing_bytes(a in any::<u64>(), extra in 0usize..32) {
+        let mut rec = TraceRecord::new(RecordKind::Write, 1);
+        rec.a = a;
+        let mut bytes = rec.encode().to_vec();
+        bytes.extend(std::iter::repeat_n(0xAAu8, extra));
+        prop_assert_eq!(TraceRecord::decode(&bytes).unwrap(), rec);
+    }
+}
+
+#[test]
+fn every_kind_round_trips_with_extreme_payloads() {
+    for kind in RecordKind::ALL {
+        let rec = TraceRecord {
+            kind,
+            src: u8::MAX,
+            flags: u16::MAX,
+            bank: u32::MAX,
+            a: u64::MAX,
+            b: 0,
+            c: u64::MAX / 2,
+        };
+        assert_eq!(TraceRecord::decode(&rec.encode()).unwrap(), rec, "{kind:?}");
+    }
+}

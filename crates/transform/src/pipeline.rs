@@ -9,6 +9,10 @@ use std::sync::Arc;
 
 use crate::{bitplane, ebdi, rotation};
 use zr_telemetry::{Counter, Event, Telemetry};
+use zr_trace::{
+    RecordKind, TraceRecord, TraceRecorder, FLAG_BIT_PLANE, FLAG_DECODE, FLAG_EBDI, FLAG_INVERTED,
+    FLAG_ROTATION, SRC_TRANSFORM,
+};
 use zr_types::geometry::RowIndex;
 use zr_types::{CachelineConfig, CellType, DramConfig, Result, SystemConfig, TransformConfig};
 
@@ -64,6 +68,7 @@ pub struct ValueTransformer {
     dram: DramConfig,
     telemetry: Arc<Telemetry>,
     metrics: TransformMetrics,
+    trace: Arc<TraceRecorder>,
 }
 
 impl ValueTransformer {
@@ -82,6 +87,7 @@ impl ValueTransformer {
             dram: config.dram.clone(),
             metrics: TransformMetrics::new(&telemetry),
             telemetry,
+            trace: Arc::clone(TraceRecorder::global()),
         })
     }
 
@@ -90,6 +96,30 @@ impl ValueTransformer {
     pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
         self.metrics = TransformMetrics::new(&telemetry);
         self.telemetry = telemetry;
+    }
+
+    /// Routes this transformer's flight-recorder records to `trace`
+    /// instead of the process-wide recorder.
+    pub fn set_trace(&mut self, trace: Arc<TraceRecorder>) {
+        self.trace = trace;
+    }
+
+    /// Flags describing which stages ran for a line bound to `row`.
+    fn stage_flags(&self, inverted: bool) -> u16 {
+        let mut flags = 0;
+        if self.stages.ebdi {
+            flags |= FLAG_EBDI;
+        }
+        if self.stages.bit_plane {
+            flags |= FLAG_BIT_PLANE;
+        }
+        if inverted {
+            flags |= FLAG_INVERTED;
+        }
+        if self.stages.rotation {
+            flags |= FLAG_ROTATION;
+        }
+        flags
     }
 
     /// The cacheline geometry this transformer was built with.
@@ -133,6 +163,12 @@ impl ValueTransformer {
             self.metrics.stage_rotation.inc();
         }
         self.metrics.encode_calls.inc();
+        if self.trace.is_active() {
+            let mut rec = TraceRecord::new(RecordKind::Transform, SRC_TRANSFORM);
+            rec.flags = self.stage_flags(inverted);
+            rec.a = row.0;
+            self.trace.record(rec);
+        }
         self.telemetry.emit(|| Event::TransformStage {
             op: "encode",
             row: row.0,
@@ -154,6 +190,13 @@ impl ValueTransformer {
     /// configured cacheline size.
     pub fn decode_in_place(&self, line: &mut [u8], row: RowIndex) -> Result<()> {
         self.metrics.decode_calls.inc();
+        if self.trace.is_active() {
+            let inverted = self.stages.cell_aware && self.cell_type(row) == CellType::Anti;
+            let mut rec = TraceRecord::new(RecordKind::Transform, SRC_TRANSFORM);
+            rec.flags = self.stage_flags(inverted) | FLAG_DECODE;
+            rec.a = row.0;
+            self.trace.record(rec);
+        }
         if self.stages.rotation {
             rotation::unrotate_in_place(line, row, self.dram.num_chips)?;
         }

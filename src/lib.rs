@@ -13,6 +13,8 @@
 //!   utilization statistics;
 //! - [`zr_energy`] — IDD-based power model and SRAM/EBDI overheads;
 //! - [`zr_timing`] — the event-driven bank-timing simulator;
+//! - [`zr_trace`] — the cycle-level command flight recorder and replay
+//!   verifier;
 //! - [`zr_baselines`] — Smart Refresh and the conventional baseline;
 //! - [`zr_sim`] — the experiment drivers reproducing the evaluation;
 //! - [`zr_types`] — shared configuration and geometry types.
@@ -37,6 +39,7 @@ pub use zr_energy;
 pub use zr_memctrl;
 pub use zr_sim;
 pub use zr_timing;
+pub use zr_trace;
 pub use zr_transform;
 pub use zr_types;
 pub use zr_workloads;
