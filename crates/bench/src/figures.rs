@@ -93,12 +93,25 @@ pub fn fig6_zero_fraction(exp: &ExperimentConfig) -> Result<Vec<zeros::ZeroMeasu
 ///
 /// Propagates experiment errors.
 pub fn fig14_refresh_reduction(exp: &ExperimentConfig) -> Result<Vec<(String, [f64; 4])>> {
+    fig14_refresh_reduction_for(Benchmark::all(), exp)
+}
+
+/// [`fig14_refresh_reduction`] restricted to a benchmark subset (the
+/// conformance golden gate pins a fast representative slice).
+///
+/// # Errors
+///
+/// Propagates experiment errors.
+pub fn fig14_refresh_reduction_for(
+    benches: &[Benchmark],
+    exp: &ExperimentConfig,
+) -> Result<Vec<(String, [f64; 4])>> {
     report::header("Fig. 14: Normalized refresh operations (100/88/70/28% alloc)");
     report::columns("benchmark", &["100%", "88%", "70%", "28%"]);
     let allocs = [1.0, 0.88, 0.70, 0.28];
     let mut rows = Vec::new();
     let mut means = [0.0f64; 4];
-    for &b in Benchmark::all() {
+    for &b in benches {
         let mut cells = [0.0f64; 4];
         for (i, &a) in allocs.iter().enumerate() {
             cells[i] = refresh::measure(b, a, exp)?.normalized;
@@ -108,7 +121,7 @@ pub fn fig14_refresh_reduction(exp: &ExperimentConfig) -> Result<Vec<(String, [f
         rows.push((b.name().to_string(), cells));
     }
     for m in &mut means {
-        *m /= Benchmark::all().len() as f64;
+        *m /= benches.len() as f64;
     }
     report::row("mean", &means);
     println!("(paper means: 0.629 / 0.54 / 0.43 / 0.17 — i.e. 37/46/57/83% reduction)");
@@ -122,12 +135,25 @@ pub fn fig14_refresh_reduction(exp: &ExperimentConfig) -> Result<Vec<(String, [f
 ///
 /// Propagates experiment errors.
 pub fn fig15_energy(exp: &ExperimentConfig) -> Result<Vec<(String, [f64; 4])>> {
+    fig15_energy_for(Benchmark::all(), exp)
+}
+
+/// [`fig15_energy`] restricted to a benchmark subset (the conformance
+/// golden gate pins a fast representative slice).
+///
+/// # Errors
+///
+/// Propagates experiment errors.
+pub fn fig15_energy_for(
+    benches: &[Benchmark],
+    exp: &ExperimentConfig,
+) -> Result<Vec<(String, [f64; 4])>> {
     report::header("Fig. 15: Normalized refresh energy (overheads included)");
     report::columns("benchmark", &["100%", "88%", "70%", "28%"]);
     let allocs = [1.0, 0.88, 0.70, 0.28];
     let mut rows = Vec::new();
     let mut means = [0.0f64; 4];
-    for &b in Benchmark::all() {
+    for &b in benches {
         let mut cells = [0.0f64; 4];
         for (i, &a) in allocs.iter().enumerate() {
             cells[i] = energy::measure(b, a, exp)?.normalized_energy;
@@ -137,7 +163,7 @@ pub fn fig15_energy(exp: &ExperimentConfig) -> Result<Vec<(String, [f64; 4])>> {
         rows.push((b.name().to_string(), cells));
     }
     for m in &mut means {
-        *m /= Benchmark::all().len() as f64;
+        *m /= benches.len() as f64;
     }
     report::row("mean", &means);
     println!("(paper means: 0.635 / 0.56 / 0.45 / 0.18 — 36.5/44/55/82% saved)");
@@ -152,18 +178,31 @@ pub fn fig15_energy(exp: &ExperimentConfig) -> Result<Vec<(String, [f64; 4])>> {
 ///
 /// Propagates experiment errors.
 pub fn fig16_temperature(exp: &ExperimentConfig) -> Result<Vec<(String, f64, f64)>> {
+    fig16_temperature_for(Benchmark::all(), exp)
+}
+
+/// [`fig16_temperature`] restricted to a benchmark subset (the
+/// conformance golden gate pins a fast representative slice).
+///
+/// # Errors
+///
+/// Propagates experiment errors.
+pub fn fig16_temperature_for(
+    benches: &[Benchmark],
+    exp: &ExperimentConfig,
+) -> Result<Vec<(String, f64, f64)>> {
     report::header("Fig. 16: Normalized refresh, extended (32ms) vs normal (64ms)");
     report::columns("benchmark", &["32ms", "64ms"]);
     let mut out = Vec::new();
     let (mut m32, mut m64) = (0.0, 0.0);
-    for &b in Benchmark::all() {
+    for &b in benches {
         let (ext, norm) = refresh::temperature_compare(b, exp)?;
         report::row(b.name(), &[ext.normalized, norm.normalized]);
         m32 += ext.normalized;
         m64 += norm.normalized;
         out.push((b.name().to_string(), ext.normalized, norm.normalized));
     }
-    let n = Benchmark::all().len() as f64;
+    let n = benches.len() as f64;
     report::row("mean", &[m32 / n, m64 / n]);
     println!("(paper: ~4.4 pp less reduction at normal temperature)");
     report::write_json("fig16_temperature", &out);

@@ -1,0 +1,199 @@
+//! The transform-pipeline oracle: round-trip and charge-cost laws.
+//!
+//! The production pipeline (`zr-transform`) chains EBDI, bit-plane
+//! transposition, cell-aware inversion and per-row rotation. The oracle
+//! does not re-implement those stages; it pins down the *laws* any
+//! correct composition must satisfy, over every stage combination and
+//! over adversarial content:
+//!
+//! - `decode(encode(x)) == x` — always, for every config;
+//! - bit-plane transposition and rotation are bit permutations, so the
+//!   charge cost of the encoded line is invariant under toggling them;
+//! - cell-aware inversion makes the cost independent of the row's cell
+//!   polarity, and without it an all-zeros line pays the full cost on
+//!   anti-cell rows;
+//! - without EBDI every stage is bit-wise monotone: clearing logical
+//!   bits can only lower the charge cost;
+//! - EBDI never increases the cost of constant-word lines (the
+//!   degenerate but common case the paper's zero-page analysis relies
+//!   on: all deltas collapse to zero).
+
+use zr_types::TransformConfig;
+
+use crate::diff::SplitMix64;
+
+/// All 16 EBDI × bit-plane × rotation × cell-aware stage combinations.
+pub fn all_transform_configs() -> Vec<TransformConfig> {
+    let mut configs = Vec::with_capacity(16);
+    for bits in 0u8..16 {
+        configs.push(TransformConfig {
+            ebdi: bits & 1 != 0,
+            bit_plane: bits & 2 != 0,
+            rotation: bits & 4 != 0,
+            cell_aware: bits & 8 != 0,
+        });
+    }
+    configs
+}
+
+/// Adversarial content families the oracle sweeps (§V's motivation: the
+/// transformation must help friendly content and never corrupt any).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContentFamily {
+    /// A zero page line.
+    AllZeros,
+    /// Every byte 0xFF (all words equal −1).
+    AllOnes,
+    /// 64-bit words holding sign-extended 16-bit values.
+    SignExtended,
+    /// Small positive integers (< 2¹²) per word.
+    SmallInt,
+    /// Pointer-array-like words: one base plus small strides.
+    Pointer,
+    /// IEEE-754 doubles of varied magnitude.
+    Float,
+    /// ASCII text bytes.
+    Text,
+    /// Mostly-zero bytes with a few random non-zeros.
+    Sparse,
+    /// Uniformly random bytes.
+    Random,
+}
+
+impl ContentFamily {
+    /// Every family, in a fixed order.
+    pub fn all() -> [ContentFamily; 9] {
+        [
+            ContentFamily::AllZeros,
+            ContentFamily::AllOnes,
+            ContentFamily::SignExtended,
+            ContentFamily::SmallInt,
+            ContentFamily::Pointer,
+            ContentFamily::Float,
+            ContentFamily::Text,
+            ContentFamily::Sparse,
+            ContentFamily::Random,
+        ]
+    }
+
+    /// Generates one `line_bytes`-sized line of this family from `seed`
+    /// (8-byte little-endian words, like the production cacheline model).
+    pub fn generate(self, seed: u64, line_bytes: usize) -> Vec<u8> {
+        assert_eq!(line_bytes % 8, 0, "lines are whole 8-byte words");
+        let mut rng = SplitMix64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(self as u64));
+        let words = line_bytes / 8;
+        let mut line = vec![0u8; line_bytes];
+        match self {
+            ContentFamily::AllZeros => {}
+            ContentFamily::AllOnes => line.fill(0xFF),
+            ContentFamily::SignExtended => {
+                for w in 0..words {
+                    let v = (rng.next_u64() as u16) as i16 as i64 as u64;
+                    line[w * 8..(w + 1) * 8].copy_from_slice(&v.to_le_bytes());
+                }
+            }
+            ContentFamily::SmallInt => {
+                for w in 0..words {
+                    let v = rng.below(1 << 12);
+                    line[w * 8..(w + 1) * 8].copy_from_slice(&v.to_le_bytes());
+                }
+            }
+            ContentFamily::Pointer => {
+                let base = (rng.next_u64() & 0x0000_7FFF_FFFF_FF00) | 0x10_0000;
+                for w in 0..words {
+                    let v = base + w as u64 * 16 + rng.below(8);
+                    line[w * 8..(w + 1) * 8].copy_from_slice(&v.to_le_bytes());
+                }
+            }
+            ContentFamily::Float => {
+                for w in 0..words {
+                    let mantissa = rng.next_u64() as f64 / u64::MAX as f64;
+                    let exp = rng.below(12) as i32 - 6;
+                    let v = (mantissa * 10f64.powi(exp)).to_bits();
+                    line[w * 8..(w + 1) * 8].copy_from_slice(&v.to_le_bytes());
+                }
+            }
+            ContentFamily::Text => {
+                const ALPHABET: &[u8] = b"etaoin shrdluETAOIN.SHRDLU,0123456789";
+                for b in line.iter_mut() {
+                    *b = ALPHABET[rng.below(ALPHABET.len() as u64) as usize];
+                }
+            }
+            ContentFamily::Sparse => {
+                for _ in 0..3 {
+                    let at = rng.below(line_bytes as u64) as usize;
+                    line[at] = (rng.next_u64() as u8) | 0x01;
+                }
+            }
+            ContentFamily::Random => {
+                for b in line.iter_mut() {
+                    *b = rng.next_u64() as u8;
+                }
+            }
+        }
+        line
+    }
+
+    /// Whether every word of a generated line holds the same value (so
+    /// all EBDI deltas collapse to zero).
+    pub fn constant_words(self) -> bool {
+        matches!(self, ContentFamily::AllZeros | ContentFamily::AllOnes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_distinct_configs() {
+        let configs = all_transform_configs();
+        assert_eq!(configs.len(), 16);
+        for i in 0..configs.len() {
+            for j in i + 1..configs.len() {
+                assert_ne!(
+                    (
+                        configs[i].ebdi,
+                        configs[i].bit_plane,
+                        configs[i].rotation,
+                        configs[i].cell_aware
+                    ),
+                    (
+                        configs[j].ebdi,
+                        configs[j].bit_plane,
+                        configs[j].rotation,
+                        configs[j].cell_aware
+                    )
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_family_shaped() {
+        for family in ContentFamily::all() {
+            let a = family.generate(11, 64);
+            let b = family.generate(11, 64);
+            assert_eq!(a, b, "{family:?} not deterministic");
+            assert_eq!(a.len(), 64);
+        }
+        assert!(ContentFamily::AllZeros
+            .generate(0, 64)
+            .iter()
+            .all(|&b| b == 0));
+        assert!(ContentFamily::AllOnes
+            .generate(0, 64)
+            .iter()
+            .all(|&b| b == 0xFF));
+        let sparse = ContentFamily::Sparse.generate(5, 64);
+        assert!(sparse.iter().filter(|&&b| b != 0).count() <= 3);
+        let text = ContentFamily::Text.generate(5, 64);
+        assert!(text.iter().all(|&b| b.is_ascii()));
+        // Sign-extended words really are sign extensions.
+        let se = ContentFamily::SignExtended.generate(9, 64);
+        for w in se.chunks(8) {
+            let v = i64::from_le_bytes(w.try_into().unwrap());
+            assert_eq!(v as i16 as i64, v);
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Conformance of the timing layer: internal-consistency invariants,
+//! bit-exact determinism, and the monotone coupling between refresh
+//! skipping and refresh-induced stalls that Fig. 17 rests on.
+
+use zr_timing::{MemoryTimingSim, RefreshDurations, RequestGenerator, TimingStats};
+use zr_types::SystemConfig;
+
+fn stream(config: &SystemConfig, seed: u64, count: usize) -> Vec<zr_timing::MemoryRequest> {
+    let mut generator = RequestGenerator::new(config, seed);
+    generator.arrival_interval_ns(6.0).row_locality(0.6);
+    generator.generate(count).expect("request stream")
+}
+
+fn run(config: &SystemConfig, durations: RefreshDurations, seed: u64) -> TimingStats {
+    let mut sim = MemoryTimingSim::new(config, durations).expect("sim");
+    let stats = sim.process(&stream(config, seed, 4000)).expect("process");
+    assert_eq!(
+        stats.invariant_violation(),
+        None,
+        "timing stats violated an internal invariant"
+    );
+    stats
+}
+
+/// The same request stream through two fresh simulators produces
+/// bit-identical statistics — the property the golden figures and every
+/// differential comparison in this crate silently rely on.
+#[test]
+fn identical_streams_are_bit_deterministic() {
+    let config = SystemConfig::small_test();
+    for durations in [
+        RefreshDurations::Conventional,
+        RefreshDurations::Uniform {
+            refreshed_fraction: 0.37,
+        },
+    ] {
+        let a = run(&config, durations.clone(), 42);
+        let b = run(&config, durations, 42);
+        assert_eq!(a, b, "two fresh simulators disagreed on one stream");
+    }
+}
+
+/// Refresh-induced waiting is monotone in the refreshed fraction, and
+/// the conventional profile is its upper endpoint.
+#[test]
+fn refresh_wait_is_monotone_in_refreshed_fraction() {
+    let config = SystemConfig::small_test();
+    let fractions = [0.0, 0.25, 0.5, 0.75, 1.0];
+    let waits: Vec<f64> = fractions
+        .iter()
+        .map(|&f| {
+            run(
+                &config,
+                RefreshDurations::Uniform {
+                    refreshed_fraction: f,
+                },
+                7,
+            )
+            .refresh_wait_ns
+        })
+        .collect();
+    for (w, f) in waits.windows(2).zip(fractions.windows(2)) {
+        assert!(
+            w[0] <= w[1] + 1e-9,
+            "refresh wait decreased from fraction {} ({} ns) to {} ({} ns)",
+            f[0],
+            w[0],
+            f[1],
+            w[1]
+        );
+    }
+    let conventional = run(&config, RefreshDurations::Conventional, 7).refresh_wait_ns;
+    assert!(
+        (conventional - waits[4]).abs() <= 1e-6 * conventional.max(1.0),
+        "Uniform {{ 1.0 }} must match Conventional: {} vs {conventional}",
+        waits[4]
+    );
+    assert!(
+        waits[0] < conventional,
+        "skipping every row must reduce refresh waiting"
+    );
+}
+
+/// A per-set profile of constant fraction `f` is behaviourally identical
+/// to `Uniform {{ f }}` — the two encodings of the same physical claim
+/// may not drift apart.
+#[test]
+fn per_set_profile_matches_uniform_at_constant_fraction() {
+    let config = SystemConfig::small_test();
+    let geom = config.geometry();
+    let sets = (geom.num_banks() as u64 * geom.ar_sets_per_bank()) as usize;
+    for f in [0.0, 0.37, 1.0] {
+        let uniform = run(
+            &config,
+            RefreshDurations::Uniform {
+                refreshed_fraction: f,
+            },
+            11,
+        );
+        let per_set = run(&config, RefreshDurations::PerSet(vec![f; sets]), 11);
+        assert_eq!(
+            uniform, per_set,
+            "constant PerSet({f}) diverged from Uniform"
+        );
+    }
+}
+
+/// Request generation itself is deterministic and seed-sensitive.
+#[test]
+fn request_streams_are_reproducible_per_seed() {
+    let config = SystemConfig::small_test();
+    assert_eq!(stream(&config, 5, 256), stream(&config, 5, 256));
+    assert_ne!(stream(&config, 5, 256), stream(&config, 6, 256));
+}

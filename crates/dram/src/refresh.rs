@@ -196,6 +196,10 @@ pub struct RefreshEngine {
     engine_id: u8,
     /// Windows completed, for `WindowStart`/`WindowEnd` records.
     window_index: u64,
+    /// Conformance fault injection: additional offset applied to the
+    /// staggered-row schedule (see [`Self::set_stagger_skew`]). Zero in
+    /// normal operation.
+    stagger_skew: u64,
 }
 
 impl RefreshEngine {
@@ -240,6 +244,7 @@ impl RefreshEngine {
             trace: Arc::clone(TraceRecorder::global()),
             engine_id: zr_trace::next_engine_id(),
             window_index: 0,
+            stagger_skew: 0,
         };
         engine.export_table_sizes();
         engine.announce_trace();
@@ -265,6 +270,29 @@ impl RefreshEngine {
     /// The flight-recorder source id of this engine's records.
     pub fn trace_engine_id(&self) -> u8 {
         self.engine_id
+    }
+
+    /// Fault injection for the conformance harness: offsets the §IV-C
+    /// staggered-row schedule by `skew` positions within each chip group,
+    /// i.e. step `n` on chip `c` refreshes row `k·⌊n/k⌋ + (c+n+skew) mod k`
+    /// instead of the correct `k·⌊n/k⌋ + (c+n) mod k`. A non-zero skew
+    /// still covers every chip-row each window (the schedule stays a
+    /// permutation), but pairs chips with the wrong rows — exactly the
+    /// class of off-by-one a differential oracle must catch. Never set
+    /// this outside conformance tests.
+    pub fn set_stagger_skew(&mut self, skew: u64) {
+        self.stagger_skew = skew;
+    }
+
+    /// The (possibly fault-injected) staggered schedule: which row chip
+    /// `chip` refreshes at step `n`.
+    fn sched_row(&self, n: u64, chip: ChipId) -> RowIndex {
+        if self.stagger_skew == 0 {
+            self.geom.staggered_row(n, chip)
+        } else {
+            let k = self.geom.num_chips() as u64;
+            RowIndex(k * (n / k) + (chip.0 as u64 + n + self.stagger_skew) % k)
+        }
     }
 
     /// Emits the meta record registering this engine in the trace.
@@ -354,7 +382,7 @@ impl RefreshEngine {
                 }
                 for n in set * self.geom.ar_rows()..(set + 1) * self.geom.ar_rows() {
                     for c in 0..self.geom.num_chips() {
-                        let row = self.geom.staggered_row(n, ChipId(c));
+                        let row = self.sched_row(n, ChipId(c));
                         if self.status.get(ChipId(c), bank, row)
                             && !rank.is_spared(bank, row)
                             && !rank.chip_row_is_discharged(ChipId(c), bank, row)
@@ -479,7 +507,7 @@ impl RefreshEngine {
                     // chip (§IV-B).
                     for n in first..first + ar {
                         for c in 0..chips {
-                            let row = self.geom.staggered_row(n, ChipId(c));
+                            let row = self.sched_row(n, ChipId(c));
                             out.rows_refreshed += 1;
                             let discharged = !rank.is_spared(bank, row)
                                 && rank.chip_row_is_discharged(ChipId(c), bank, row);
@@ -510,7 +538,7 @@ impl RefreshEngine {
                     out.table_reads = chips as u64;
                     for n in first..first + ar {
                         for c in 0..chips {
-                            let row = self.geom.staggered_row(n, ChipId(c));
+                            let row = self.sched_row(n, ChipId(c));
                             if !rank.is_spared(bank, row) && self.status.get(ChipId(c), bank, row) {
                                 debug_assert!(
                                     rank.chip_row_is_discharged(ChipId(c), bank, row),
@@ -553,7 +581,7 @@ impl RefreshEngine {
                 let naive = self.naive.as_ref().expect("naive policy has tracker");
                 for n in first..first + ar {
                     for c in 0..chips {
-                        let row = self.geom.staggered_row(n, ChipId(c));
+                        let row = self.sched_row(n, ChipId(c));
                         if !rank.is_spared(bank, row) && naive.is_discharged(bank, row) {
                             debug_assert!(
                                 rank.chip_row_is_discharged(ChipId(c), bank, row),

@@ -1,0 +1,106 @@
+//! Property tests for the energy model: the Fig. 15/16 savings claim is
+//! only meaningful if the accountant is monotone in refresh work and the
+//! savings can never go negative from skipping alone.
+
+use proptest::prelude::*;
+use zr_energy::accounting::{EnergyAccountant, ACCESS_TABLE_FULLSCALE_BYTES};
+use zr_types::{SystemConfig, TemperatureMode};
+
+const WINDOWS: u64 = 8;
+
+fn accountant(temperature: TemperatureMode) -> EnergyAccountant {
+    let mut config = SystemConfig::paper_default();
+    config.timing.temperature = temperature;
+    EnergyAccountant::new(&config).expect("accountant")
+}
+
+fn rows_per_run(acc_config: &SystemConfig) -> u64 {
+    acc_config.geometry().total_chip_row_refreshes_per_window() * WINDOWS
+}
+
+fn normalized_at(acc: &EnergyAccountant, rows_refreshed: u64, table_traffic: u64) -> f64 {
+    let breakdown = acc.breakdown(
+        rows_refreshed,
+        table_traffic,
+        table_traffic / 8,
+        0,
+        ACCESS_TABLE_FULLSCALE_BYTES,
+        WINDOWS,
+    );
+    acc.normalized(&breakdown, WINDOWS)
+}
+
+/// Normalized energy is strictly monotone in refreshed rows, at both
+/// Fig. 16 temperature points, across the whole skip range.
+#[test]
+fn normalized_energy_is_monotone_in_refreshed_rows() {
+    let config = SystemConfig::paper_default();
+    let total = rows_per_run(&config);
+    for temperature in [TemperatureMode::Extended, TemperatureMode::Normal] {
+        let acc = accountant(temperature);
+        let mut last = -1.0;
+        for step in 0..=20u64 {
+            let rows = total * step / 20;
+            let n = normalized_at(&acc, rows, 4096);
+            assert!(
+                n > last,
+                "{temperature:?}: normalized energy not increasing at step {step}: {n} <= {last}"
+            );
+            assert!(
+                n > 0.0,
+                "{temperature:?}: normalized energy must stay positive"
+            );
+            last = n;
+        }
+    }
+}
+
+/// Skipping rows always saves energy net of the tracking overheads at
+/// the paper's table sizes: a partially-refreshed run never exceeds the
+/// fully-refreshed one, and the savings are never negative.
+#[test]
+fn savings_are_never_negative_at_fig16_temperatures() {
+    let config = SystemConfig::paper_default();
+    let total = rows_per_run(&config);
+    // Per-window table traffic bound: one batched read per chip per AR
+    // command (the engine's trusted-window pattern).
+    let table_traffic =
+        config.geometry().ar_sets_per_bank() * config.dram.num_banks as u64 * 8 * WINDOWS;
+    for temperature in [TemperatureMode::Extended, TemperatureMode::Normal] {
+        let acc = accountant(temperature);
+        let full = normalized_at(&acc, total, table_traffic);
+        for step in 0..=10u64 {
+            let rows = total * step / 10;
+            let partial = normalized_at(&acc, rows, table_traffic);
+            let savings = full - partial;
+            assert!(
+                savings >= -1e-12,
+                "{temperature:?}: skipping {}% of rows RAISED normalized energy by {}",
+                100 - step * 10,
+                -savings
+            );
+        }
+        // The all-skipped endpoint keeps paying the overheads, so it is
+        // cheap but not free.
+        let floor = normalized_at(&acc, 0, table_traffic);
+        assert!(floor > 0.0 && floor < 0.1, "{temperature:?}: floor {floor}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    #[test]
+    fn monotonicity_holds_for_arbitrary_row_pairs(
+        a in 0u64..1_000_000,
+        b in 0u64..1_000_000,
+        hot in any::<bool>(),
+    ) {
+        let temperature = if hot { TemperatureMode::Extended } else { TemperatureMode::Normal };
+        let acc = accountant(temperature);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let n_lo = normalized_at(&acc, lo, 1024);
+        let n_hi = normalized_at(&acc, hi, 1024);
+        prop_assert!(n_lo <= n_hi, "rows {lo} cost {n_lo} > rows {hi} cost {n_hi}");
+        prop_assert!(n_lo > 0.0);
+    }
+}

@@ -56,6 +56,19 @@ impl ExperimentConfig {
         }
     }
 
+    /// The configuration the conformance golden gates (`zr-conform`)
+    /// run the figure experiments at: as small as [`tiny_test`] but with
+    /// its own fixed seed, so blessing a golden snapshot does not couple
+    /// to the unit-test knobs.
+    pub fn conform_test() -> Self {
+        ExperimentConfig {
+            capacity_bytes: 4 << 20,
+            windows: 3,
+            seed: 0x00C0_F042,
+            ..ExperimentConfig::default()
+        }
+    }
+
     /// The [`zr_types::SystemConfig`] realizing this experiment setup.
     ///
     /// The true/anti-cell block size scales with the capacity (1/8 of the

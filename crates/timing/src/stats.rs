@@ -62,6 +62,36 @@ impl TimingStats {
         self.rank_wait_ns += other.rank_wait_ns;
     }
 
+    /// Internal-consistency invariants every well-formed batch satisfies,
+    /// checked by the conformance harness after each simulated stream:
+    /// the three row-buffer outcomes partition the requests, and no
+    /// accumulated duration is negative or non-finite. Returns the first
+    /// violated invariant, or `None` when all hold.
+    pub fn invariant_violation(&self) -> Option<String> {
+        if self.row_hits + self.row_closed + self.row_conflicts != self.requests {
+            return Some(format!(
+                "row outcomes {} + {} + {} do not partition {} requests",
+                self.row_hits, self.row_closed, self.row_conflicts, self.requests
+            ));
+        }
+        for (name, v) in [
+            ("refresh_wait_ns", self.refresh_wait_ns),
+            ("total_latency_ns", self.total_latency_ns),
+            ("rank_wait_ns", self.rank_wait_ns),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Some(format!("{name} = {v} is negative or non-finite"));
+            }
+        }
+        if self.refresh_stalled > self.requests {
+            return Some(format!(
+                "{} refresh-stalled requests out of {}",
+                self.refresh_stalled, self.requests
+            ));
+        }
+        None
+    }
+
     /// First-order IPC estimate for a core issuing this stream:
     /// `IPC = 1 / (base_cpi + mpki/1000 · latency_cycles / mlp)`.
     ///
@@ -159,6 +189,39 @@ mod tests {
         let naive =
             (a.ipc_estimate(0.6, 20.0, 5.0, 4.0) + b.ipc_estimate(0.6, 20.0, 5.0, 4.0)) / 2.0;
         assert!((ipc_acc - naive).abs() > 1e-3);
+    }
+
+    #[test]
+    fn invariants_hold_for_well_formed_stats_and_flag_violations() {
+        let good = TimingStats {
+            requests: 10,
+            row_hits: 6,
+            row_closed: 1,
+            row_conflicts: 3,
+            refresh_stalled: 2,
+            refresh_wait_ns: 40.0,
+            total_latency_ns: 500.0,
+            rank_wait_ns: 0.0,
+        };
+        assert_eq!(good.invariant_violation(), None);
+        let bad_partition = TimingStats {
+            row_hits: 7,
+            ..good
+        };
+        assert!(bad_partition
+            .invariant_violation()
+            .unwrap()
+            .contains("partition"));
+        let bad_ns = TimingStats {
+            refresh_wait_ns: -1.0,
+            ..good
+        };
+        assert!(bad_ns.invariant_violation().is_some());
+        let bad_stalls = TimingStats {
+            refresh_stalled: 11,
+            ..good
+        };
+        assert!(bad_stalls.invariant_violation().is_some());
     }
 
     #[test]

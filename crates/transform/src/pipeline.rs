@@ -262,6 +262,31 @@ impl ValueTransformer {
         let pattern = self.cell_type(row).discharged_byte();
         encoded.iter().all(|&b| b == pattern)
     }
+
+    /// Counts the cells of `encoded` that hold charge when stored in
+    /// `row`: set bits in true-cell rows, clear bits in anti-cell rows
+    /// (§II-B). This is the charge cost the transformation pipeline
+    /// minimizes; `is_discharged` is exactly `charged_cell_count == 0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use zr_transform::ValueTransformer;
+    /// use zr_types::{geometry::RowIndex, SystemConfig};
+    /// let t = ValueTransformer::new(&SystemConfig::paper_default()).unwrap();
+    /// assert_eq!(t.charged_cell_count(&[0x0F, 0x00], RowIndex(0)), 4);
+    /// assert_eq!(t.charged_cell_count(&[0xFF, 0xFF], RowIndex(512)), 0);
+    /// ```
+    pub fn charged_cell_count(&self, encoded: &[u8], row: RowIndex) -> u64 {
+        let charged: u64 = encoded
+            .iter()
+            .map(|&b| u64::from(b.count_ones()))
+            .sum::<u64>();
+        match self.cell_type(row) {
+            CellType::True => charged,
+            CellType::Anti => 8 * encoded.len() as u64 - charged,
+        }
+    }
 }
 
 fn invert(line: &mut [u8]) {

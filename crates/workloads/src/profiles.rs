@@ -685,4 +685,131 @@ mod tests {
             assert!(b.profile().random_pages() >= 0.0, "{}", b.name());
         }
     }
+
+    // ---- generated-content statistics, pinned against fixed seeds ----
+    //
+    // The bands below are deliberately wide: the draw *streams* differ
+    // between RNG backends, but the mixture statistics they realize are
+    // backend-invariant to within sampling noise, and it is the
+    // statistics the calibration story depends on.
+
+    use crate::content::{zero_block_fraction, zero_byte_fraction};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Shannon entropy of the byte distribution, in bits per byte.
+    fn byte_entropy_bits(bytes: &[u8]) -> f64 {
+        let mut counts = [0u64; 256];
+        for &b in bytes {
+            counts[b as usize] += 1;
+        }
+        let n = bytes.len() as f64;
+        counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / n;
+                -p * p.log2()
+            })
+            .sum()
+    }
+
+    /// 64 pages of 16 lines for `b`, drawn from a fixed derived seed.
+    fn sample_bytes(b: Benchmark, seed: u64) -> Vec<u8> {
+        let generator = b.profile().page_generator(16);
+        let mut rng = StdRng::seed_from_u64(b.derive_seed(seed));
+        let mut bytes = Vec::new();
+        for _ in 0..64 {
+            let (_, lines) = generator.generate_page(&mut rng);
+            for line in lines {
+                bytes.extend_from_slice(&line);
+            }
+        }
+        bytes
+    }
+
+    #[test]
+    fn generated_content_is_deterministic_per_seed() {
+        for b in [Benchmark::Gcc, Benchmark::Mcf, Benchmark::SpC] {
+            assert_eq!(sample_bytes(b, 7), sample_bytes(b, 7), "{}", b.name());
+            assert_ne!(sample_bytes(b, 7), sample_bytes(b, 8), "{}", b.name());
+        }
+    }
+
+    #[test]
+    fn suite_zero_statistics_land_in_the_calibrated_bands() {
+        // Fig. 6's shape: zero *bytes* are common (suite mean tens of
+        // percent — zero words inside live pointer/int pages), zero 1 KB
+        // *blocks* are rare (only whole zero pages produce them).
+        let (mut byte_mean, mut block_mean) = (0.0, 0.0);
+        for &b in Benchmark::all() {
+            let bytes = sample_bytes(b, 0xC0F0);
+            let zb = zero_byte_fraction(&bytes);
+            let kb = zero_block_fraction(&bytes, 1024);
+            assert!(
+                (0.05..=0.90).contains(&zb),
+                "{}: zero-byte fraction {zb} implausible",
+                b.name()
+            );
+            assert!(
+                kb < 0.25,
+                "{}: zero-block fraction {kb} implausibly high",
+                b.name()
+            );
+            assert!(kb <= zb, "{}: block fraction above byte fraction", b.name());
+            byte_mean += zb;
+            block_mean += kb;
+        }
+        let n = Benchmark::all().len() as f64;
+        byte_mean /= n;
+        block_mean /= n;
+        assert!(
+            (0.35..=0.65).contains(&byte_mean),
+            "suite mean zero-byte fraction {byte_mean} left the calibrated band"
+        );
+        assert!(
+            (0.002..=0.10).contains(&block_mean),
+            "suite mean zero-block fraction {block_mean} left the calibrated band"
+        );
+    }
+
+    #[test]
+    fn entropy_spectrum_tracks_the_mixtures() {
+        // BDI-heavy mixtures (gemsFDTD) are low-entropy; random/float
+        // heavy ones (sp.C) sit several bits higher; nothing reaches the
+        // 8-bit ceiling because every profile keeps structured classes.
+        let h = |b: Benchmark| byte_entropy_bits(&sample_bytes(b, 0xC0F0));
+        for &b in Benchmark::all() {
+            let e = h(b);
+            assert!(
+                (1.0..=7.9).contains(&e),
+                "{}: entropy {e} bits implausible",
+                b.name()
+            );
+        }
+        assert!(
+            h(Benchmark::GemsFdtd) + 0.5 < h(Benchmark::Omnetpp),
+            "BDI-heavy gemsFDTD must be lower-entropy than omnetpp"
+        );
+        assert!(
+            h(Benchmark::Omnetpp) + 0.5 < h(Benchmark::SpC),
+            "float/random-heavy sp.C must top the entropy spectrum"
+        );
+    }
+
+    #[test]
+    fn zero_statistics_are_stable_across_seeds() {
+        // The statistic (not the stream) is what the calibration pins:
+        // across disjoint seeds the per-benchmark zero-byte fraction
+        // moves by sampling noise only.
+        for b in [Benchmark::GemsFdtd, Benchmark::Perlbench] {
+            let a = zero_byte_fraction(&sample_bytes(b, 1));
+            let c = zero_byte_fraction(&sample_bytes(b, 2));
+            assert!(
+                (a - c).abs() < 0.12,
+                "{}: zero-byte fraction unstable across seeds: {a} vs {c}",
+                b.name()
+            );
+        }
+    }
 }
