@@ -1,0 +1,159 @@
+//! The `zr-bench` harness CLI: the perf-regression suite and profile
+//! capture.
+//!
+//! ```text
+//! zr-bench perf [--quick] [--full] [--runs N]   # run the pinned suite
+//! zr-bench profile [--out DIR]                  # capture a fig14-subset profile
+//! ```
+//!
+//! `perf` runs the standardized slices (see `zr_bench::perf`) and gates
+//! the result against the repo-root `BENCH_perf.json` baseline;
+//! `ZR_BLESS=1` rewrites the baseline instead. The quick suite is the
+//! default (it is what CI runs); `--full` selects the larger workloads,
+//! which compare only against a `--full`-blessed baseline. On a
+//! comparison run the measured report is also written next to the
+//! baseline as `BENCH_perf.current.json` for inspection.
+//!
+//! `profile` runs the fig14 subset once with the span profiler
+//! installed and exports `fig14_subset.folded` (flamegraph.pl/inferno
+//! collapsed stacks) plus `fig14_subset_profile.json` to `--out` (or
+//! `$ZR_PROF`, default `prof-out/`), then prints the hot-scope table.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use zr_bench::perf::{perf_experiment_config, run_perf_suite, PerfOptions, FIG14_SUBSET};
+use zr_prof::perf::{
+    bless_requested, default_baseline_path, gate, GateOutcome, PerfReport, Tolerance,
+};
+use zr_prof::Profiler;
+use zr_sim::experiments::refresh;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  zr-bench perf [--quick] [--full] [--runs N]\n  zr-bench profile [--out DIR]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.split_first() {
+        Some((cmd, rest)) if cmd == "perf" => cmd_perf(rest),
+        Some((cmd, rest)) if cmd == "profile" => cmd_profile(rest),
+        _ => usage(),
+    }
+}
+
+fn cmd_perf(rest: &[String]) -> ExitCode {
+    let mut opts = PerfOptions::default();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--quick" => opts.quick = true,
+            "--full" => opts.quick = false,
+            "--runs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => opts.runs = Some(n),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    eprintln!(
+        "[zr-bench] running perf suite ({}, {} runs per slice)",
+        if opts.quick { "quick" } else { "full" },
+        opts.runs.unwrap_or(if opts.quick { 3 } else { 5 }),
+    );
+    let current = match run_perf_suite(&opts) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("[zr-bench] perf suite failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for s in &current.slices {
+        eprintln!(
+            "[zr-bench]   {}: {:.2} ms best, {:.0} {}/s, {} allocs",
+            s.name,
+            s.wall_ns_best as f64 / 1e6,
+            s.throughput_per_s,
+            s.unit,
+            s.allocs,
+        );
+    }
+    let baseline_path = default_baseline_path();
+    if bless_requested() {
+        return match current.write(&baseline_path) {
+            Ok(()) => {
+                eprintln!("[zr-bench] blessed baseline {}", baseline_path.display());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("[zr-bench] {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let current_path = baseline_path.with_file_name("BENCH_perf.current.json");
+    if let Err(e) = current.write(&current_path) {
+        eprintln!("[zr-bench] {e}");
+    }
+    let baseline = PerfReport::load(&baseline_path).ok();
+    match gate(baseline.as_ref(), &current, &Tolerance::from_env(), false) {
+        GateOutcome::Blessed => unreachable!("gate cannot bless without the flag"),
+        GateOutcome::Pass { notes } => {
+            for note in notes {
+                eprintln!("[zr-bench] PASS {note}");
+            }
+            eprintln!(
+                "[zr-bench] perf gate passed against {}",
+                baseline_path.display()
+            );
+            ExitCode::SUCCESS
+        }
+        GateOutcome::Fail { problems } => {
+            for problem in problems {
+                eprintln!("[zr-bench] FAIL {problem}");
+            }
+            eprintln!("[zr-bench] perf gate failed (ZR_BLESS=1 re-blesses after intended changes)");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_profile(rest: &[String]) -> ExitCode {
+    let mut out: Option<PathBuf> = None;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--out" => match it.next() {
+                Some(dir) => out = Some(PathBuf::from(dir)),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let dir = out
+        .or_else(zr_prof::profile_dir)
+        .unwrap_or_else(|| PathBuf::from("prof-out"));
+    let profiler = Profiler::install_global();
+    let exp = perf_experiment_config(false);
+    for &b in &FIG14_SUBSET {
+        if let Err(e) = refresh::measure(b, 1.0, &exp) {
+            eprintln!("[zr-bench] {} failed: {e}", b.name());
+            return ExitCode::FAILURE;
+        }
+    }
+    let profile = profiler.snapshot();
+    if let Err(e) = zr_prof::export_profile(&profile, &dir, "fig14_subset") {
+        eprintln!("[zr-bench] {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "[zr-bench] wrote {} and {}",
+        dir.join("fig14_subset.folded").display(),
+        dir.join("fig14_subset_profile.json").display()
+    );
+    print!("{}", profile.report(20));
+    ExitCode::SUCCESS
+}

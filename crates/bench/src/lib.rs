@@ -22,6 +22,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod figures;
+pub mod perf;
 pub mod report;
 
 use zr_sim::experiments::ExperimentConfig;
@@ -55,7 +56,14 @@ pub fn experiment_config() -> ExperimentConfig {
 /// output directory, the event sink is flushed and the full metrics
 /// snapshot is written to `<dir>/<name>_snapshot.json` after the run.
 /// When `ZR_TRACE` is set, the process-wide flight recorder is finalized
-/// so the trace file on disk ends on a complete frame.
+/// so the trace file on disk ends on a complete frame. When `ZR_PROF`
+/// names a directory, the span profiler is installed for the run and
+/// the captured profile is exported there as `<name>.folded` plus
+/// `<name>_profile.json`.
+///
+/// On completion a one-line wall-time and throughput summary (chip-row
+/// refresh decisions and cacheline accesses per second, from the
+/// process-wide counters) is printed to stderr.
 ///
 /// The `src/bin/*` report binaries all go through this wrapper:
 ///
@@ -68,7 +76,12 @@ pub fn experiment_config() -> ExperimentConfig {
 pub fn run_figure<T>(name: &str, f: impl FnOnce() -> T) -> T {
     let telemetry = Telemetry::global();
     let _scope = telemetry.scope(name);
+    let profiler = zr_prof::profile_dir().map(|dir| (zr_prof::Profiler::install_global(), dir));
+    let before = telemetry.snapshot();
+    let start = std::time::Instant::now();
     let out = f();
+    let wall = start.elapsed();
+    let after = telemetry.snapshot();
     if let Some(dir) = zr_telemetry::output_dir() {
         telemetry.flush();
         let path = dir.join(format!("{name}_snapshot.json"));
@@ -85,5 +98,26 @@ pub fn run_figure<T>(name: &str, f: impl FnOnce() -> T) -> T {
             trace.recorded()
         );
     }
+    if let Some((profiler, dir)) = profiler {
+        match zr_prof::export_profile(&profiler.snapshot(), &dir, name) {
+            Ok(()) => eprintln!("[zr-bench] wrote {} profile to {}", name, dir.display()),
+            Err(e) => eprintln!("[zr-bench] profile export failed: {e}"),
+        }
+    }
+    let delta = |counter: &str| {
+        after
+            .counter(counter)
+            .saturating_sub(before.counter(counter))
+    };
+    let rows = delta("dram.refresh.rows_refreshed") + delta("dram.refresh.rows_skipped");
+    let accesses = delta("memctrl.reads") + delta("memctrl.writes");
+    let secs = wall.as_secs_f64().max(f64::EPSILON);
+    eprintln!(
+        "[zr-bench] {name}: {:.2}s wall, {rows} chip-row decisions ({:.0}/s), \
+         {accesses} line accesses ({:.0}/s)",
+        wall.as_secs_f64(),
+        rows as f64 / secs,
+        accesses as f64 / secs,
+    );
     out
 }

@@ -1,0 +1,243 @@
+//! The `zr-bench perf` suite: a pinned set of standardized slices whose
+//! wall time, simulated throughput and allocation counts seed the
+//! repo-root `BENCH_perf.json` regression baseline.
+//!
+//! Three slices cover the stack end to end:
+//!
+//! - `fig14_subset` — the six-benchmark conformance subset of the
+//!   Fig. 14 refresh-reduction experiment (full system: workload trace →
+//!   transform → rank → refresh engine);
+//! - `dram_refresh_soak` — steady-state refresh windows over a
+//!   pre-populated rank with no intervening traffic (refresh engine +
+//!   discharge tracker dominated);
+//! - `transform_roundtrip` — the value-transformation pipeline alone,
+//!   encode + decode + verify over deterministic LCG-generated lines.
+//!
+//! Everything is pinned — seeds, capacities, window counts — so run-to-
+//! run differences measure the code, not the workload. The default
+//! suite is the `--quick` one the CI perf-smoke job runs; `--full`
+//! multiplies the workloads for lower-noise local measurements (the two
+//! produce incomparable reports, and the gate refuses to mix them).
+
+use std::time::Instant;
+
+use zr_dram::RefreshPolicy;
+use zr_memctrl::MemoryController;
+use zr_prof::alloc::AllocScope;
+use zr_prof::clock;
+use zr_prof::perf::{calibrate_best, calibration_iters, PerfReport, SliceResult};
+use zr_sim::experiments::{refresh, ExperimentConfig};
+use zr_transform::ValueTransformer;
+use zr_types::geometry::{LineAddr, RowIndex};
+use zr_types::{Result, SystemConfig};
+use zr_workloads::Benchmark;
+
+/// The six benchmarks of the conformance Fig. 14 subset, reused here so
+/// perf numbers and golden-figure gates exercise the same workloads.
+pub const FIG14_SUBSET: [Benchmark; 6] = [
+    Benchmark::GemsFdtd,
+    Benchmark::Sphinx3,
+    Benchmark::Omnetpp,
+    Benchmark::SpC,
+    Benchmark::Mcf,
+    Benchmark::TpchQ6,
+];
+
+/// Fixed seed of the perf workloads (distinct from the unit-test and
+/// conformance seeds so blessing a perf baseline couples to neither).
+pub const PERF_SEED: u64 = 0x00BE_4C42;
+
+/// Options of one suite run.
+#[derive(Debug, Clone, Copy)]
+pub struct PerfOptions {
+    /// Reduced workloads (the CI smoke suite). This is the default.
+    pub quick: bool,
+    /// Runs per slice; the best run gates. Defaults to 3 quick / 5
+    /// full.
+    pub runs: Option<usize>,
+}
+
+impl Default for PerfOptions {
+    fn default() -> Self {
+        PerfOptions {
+            quick: true,
+            runs: None,
+        }
+    }
+}
+
+impl PerfOptions {
+    fn effective_runs(&self) -> usize {
+        self.runs.unwrap_or(if self.quick { 3 } else { 5 }).max(1)
+    }
+}
+
+/// The pinned experiment configuration of the `fig14_subset` slice.
+pub fn perf_experiment_config(quick: bool) -> ExperimentConfig {
+    ExperimentConfig {
+        capacity_bytes: 4 << 20,
+        windows: if quick { 2 } else { 4 },
+        seed: PERF_SEED,
+        ..ExperimentConfig::default()
+    }
+}
+
+/// Runs the whole suite and assembles the report (calibration spin
+/// first, then every slice, then the peak-RSS reading).
+///
+/// # Errors
+///
+/// Propagates configuration/address errors from the simulation layers.
+pub fn run_perf_suite(opts: &PerfOptions) -> Result<PerfReport> {
+    let runs = opts.effective_runs();
+    let calibration_wall_ns = calibrate_best(calibration_iters(opts.quick), 3);
+    let exp = perf_experiment_config(opts.quick);
+    let slices = vec![
+        measure_slice("fig14_subset", "chip_rows", runs, || fig14_subset(&exp))?,
+        measure_slice("dram_refresh_soak", "chip_rows", runs, || {
+            dram_refresh_soak(if opts.quick { 256 } else { 1024 })
+        })?,
+        measure_slice("transform_roundtrip", "lines", runs, || {
+            transform_roundtrip(if opts.quick { 4_000 } else { 16_000 })
+        })?,
+    ];
+    Ok(PerfReport {
+        schema: 1,
+        quick: opts.quick,
+        calibration_wall_ns,
+        peak_rss_bytes: clock::peak_rss_bytes(),
+        slices,
+    })
+}
+
+/// Times `f` over `runs` runs inside an allocation scope and folds the
+/// measurements into a [`SliceResult`]. `f` returns the simulated work
+/// performed (identical every run by construction).
+fn measure_slice(
+    name: &str,
+    unit: &str,
+    runs: usize,
+    mut f: impl FnMut() -> Result<u64>,
+) -> Result<SliceResult> {
+    let mut walls = Vec::with_capacity(runs);
+    let mut allocs = Vec::with_capacity(runs);
+    let mut bytes = Vec::with_capacity(runs);
+    let mut work_units = 0;
+    for _ in 0..runs {
+        let scope = AllocScope::begin();
+        let start = Instant::now();
+        work_units = f()?;
+        walls.push(start.elapsed().as_nanos() as u64);
+        let delta = scope.delta();
+        allocs.push(delta.allocs);
+        bytes.push(delta.bytes);
+    }
+    Ok(SliceResult::from_runs(
+        name, walls, work_units, unit, allocs, bytes,
+    ))
+}
+
+/// One pass of the Fig. 14 six-benchmark subset at 100% allocation.
+/// Work units: chip-row refresh decisions (refreshed + skipped) over
+/// the measured windows.
+fn fig14_subset(exp: &ExperimentConfig) -> Result<u64> {
+    let mut units = 0;
+    for &b in &FIG14_SUBSET {
+        let m = refresh::measure(b, 1.0, exp)?;
+        units += m.stats.rows_refreshed + m.stats.rows_skipped;
+    }
+    Ok(units)
+}
+
+/// Steady-state refresh soak: populate a small rank with a
+/// deterministic friendly/hostile mix once, then run `windows` refresh
+/// windows back to back.
+fn dram_refresh_soak(windows: u64) -> Result<u64> {
+    let config = SystemConfig::small_test();
+    let mut mc = MemoryController::new(&config, RefreshPolicy::ChargeAware)?;
+    let line_bytes = mc.geometry().line_bytes();
+    let total_lines = mc.geometry().total_lines();
+    let mut x = PERF_SEED;
+    for addr in 0..total_lines.min(1024) {
+        let mut line = vec![0u8; line_bytes];
+        if addr % 3 != 0 {
+            // Friendly content: small deltas off a shared base.
+            for (w, chunk) in line.chunks_exact_mut(8).enumerate() {
+                chunk.copy_from_slice(&(0x4000_0000u64 + addr * 8 + w as u64).to_le_bytes());
+            }
+        } else {
+            // Hostile content: raw LCG noise.
+            for b in line.iter_mut() {
+                x = lcg(x);
+                *b = (x >> 56) as u8;
+            }
+        }
+        mc.write_line(LineAddr(addr), &line)?;
+    }
+    mc.run_refresh_window(); // scan window, unmeasured work split
+    let mut units = 0;
+    for _ in 0..windows {
+        let w = mc.run_refresh_window();
+        units += w.rows_refreshed + w.rows_skipped;
+    }
+    Ok(units)
+}
+
+/// Transformation pipeline throughput: encode + decode + verify `lines`
+/// LCG-generated cachelines across rows of both cell types.
+fn transform_roundtrip(lines: u64) -> Result<u64> {
+    let config = SystemConfig::small_test();
+    let transformer = ValueTransformer::new(&config)?;
+    let rows_per_bank = config.geometry().rows_per_bank();
+    let line_bytes = config.line.line_bytes;
+    let mut x = PERF_SEED ^ 0x7F4A;
+    let mut line = vec![0u8; line_bytes];
+    for i in 0..lines {
+        for b in line.iter_mut() {
+            x = lcg(x);
+            *b = (x >> 56) as u8;
+        }
+        let row = RowIndex(i % rows_per_bank);
+        let encoded = transformer.encode(&line, row)?;
+        let decoded = transformer.decode(&encoded, row)?;
+        assert_eq!(decoded, line, "transform round trip diverged");
+    }
+    Ok(lines)
+}
+
+fn lcg(x: u64) -> u64 {
+    x.wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_suite_produces_all_three_slices() {
+        let report = run_perf_suite(&PerfOptions {
+            quick: true,
+            runs: Some(1),
+        })
+        .unwrap();
+        assert!(report.quick);
+        assert!(report.calibration_wall_ns > 0);
+        for name in ["fig14_subset", "dram_refresh_soak", "transform_roundtrip"] {
+            let slice = report
+                .slice(name)
+                .unwrap_or_else(|| panic!("{name} missing"));
+            assert!(slice.work_units > 0, "{name} did no work");
+            assert!(slice.wall_ns_best > 0, "{name} took no time");
+            assert!(slice.throughput_per_s > 0.0, "{name} has no throughput");
+        }
+    }
+
+    #[test]
+    fn work_units_are_run_invariant() {
+        let exp = perf_experiment_config(true);
+        assert_eq!(fig14_subset(&exp).unwrap(), fig14_subset(&exp).unwrap());
+        assert_eq!(dram_refresh_soak(8).unwrap(), dram_refresh_soak(8).unwrap());
+        assert_eq!(transform_roundtrip(100).unwrap(), 100);
+    }
+}

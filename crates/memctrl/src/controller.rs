@@ -54,6 +54,7 @@ pub struct MemoryController {
     rank: DramRank,
     engine: RefreshEngine,
     stats: AccessStats,
+    telemetry: Arc<Telemetry>,
     metrics: ControllerMetrics,
     trace: Arc<TraceRecorder>,
 }
@@ -72,6 +73,7 @@ impl MemoryController {
             rank: DramRank::new(config)?,
             engine: RefreshEngine::new(config, policy)?,
             stats: AccessStats::default(),
+            telemetry: Arc::clone(Telemetry::global()),
             metrics: ControllerMetrics::new(Telemetry::global()),
             trace: Arc::clone(TraceRecorder::global()),
         })
@@ -83,7 +85,8 @@ impl MemoryController {
     pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
         self.metrics = ControllerMetrics::new(&telemetry);
         self.engine.set_telemetry(Arc::clone(&telemetry));
-        self.transformer.set_telemetry(telemetry);
+        self.transformer.set_telemetry(Arc::clone(&telemetry));
+        self.telemetry = telemetry;
     }
 
     /// Routes this controller's flight-recorder records — and those of
@@ -133,6 +136,7 @@ impl MemoryController {
     /// Returns [`Error::BadLength`] for a wrong-sized buffer or
     /// [`Error::AddressOutOfRange`] for an address beyond the capacity.
     pub fn write_line(&mut self, addr: LineAddr, data: &[u8]) -> Result<()> {
+        let _span = self.telemetry.span("memctrl.write");
         let loc = self.geom.locate(addr)?;
         let encoded = self.transformer.encode(data, loc.row)?;
         self.rank
@@ -157,6 +161,7 @@ impl MemoryController {
     /// Returns [`Error::AddressOutOfRange`] for an address beyond the
     /// capacity.
     pub fn read_line(&mut self, addr: LineAddr) -> Result<Vec<u8>> {
+        let _span = self.telemetry.span("memctrl.read");
         let loc = self.geom.locate(addr)?;
         let encoded = self.rank.read_encoded_line(loc.bank, loc.row, loc.slot)?;
         let line = self.transformer.decode(&encoded, loc.row)?;

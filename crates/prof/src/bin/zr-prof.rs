@@ -1,0 +1,79 @@
+//! The `zr-prof` CLI: render saved profiles.
+//!
+//! ```text
+//! zr-prof report <profile.json> [--top N]   # hot-scope table
+//! zr-prof folded <profile.json>             # collapsed stacks to stdout
+//! ```
+//!
+//! Profiles are captured by the workloads themselves: `zr-bench
+//! profile`, or any figure binary run with `ZR_PROF=<dir>`.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use zr_prof::json::Json;
+use zr_prof::Profile;
+
+fn usage() -> ExitCode {
+    eprintln!("usage:\n  zr-prof report <profile.json> [--top N]\n  zr-prof folded <profile.json>");
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<Profile, String> {
+    let text =
+        std::fs::read_to_string(Path::new(path)).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    Profile::from_json(&doc)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((cmd, rest)) => (cmd.as_str(), rest),
+        None => return usage(),
+    };
+    match cmd {
+        "report" => {
+            let Some(path) = rest.first() else {
+                return usage();
+            };
+            let mut top = 20usize;
+            let mut it = rest[1..].iter();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--top" => match it.next().and_then(|v| v.parse().ok()) {
+                        Some(n) => top = n,
+                        None => return usage(),
+                    },
+                    _ => return usage(),
+                }
+            }
+            match load(path) {
+                Ok(profile) => {
+                    print!("{}", profile.report(top));
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("zr-prof: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "folded" => {
+            let Some(path) = rest.first() else {
+                return usage();
+            };
+            match load(path) {
+                Ok(profile) => {
+                    print!("{}", profile.to_folded());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("zr-prof: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

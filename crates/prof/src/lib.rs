@@ -1,0 +1,69 @@
+//! `zr-prof`: simulator self-profiling and the perf-regression harness
+//! for the ZERO-REFRESH reproduction.
+//!
+//! Three cooperating pieces:
+//!
+//! * [`alloc`] — a feature-gated counting wrapper around the system
+//!   allocator (`count-alloc`, on by default) with process totals,
+//!   exact per-thread windows ([`alloc::AllocScope`]) and a suspend
+//!   mechanism so measurement tools do not observe themselves;
+//! * [`profile`] — a [`profile::Profiler`] that piggybacks on
+//!   `zr-telemetry` span nesting (via [`zr_telemetry::SpanObserver`])
+//!   and turns the existing instrumentation points of `zr-dram`,
+//!   `zr-memctrl`, `zr-transform`, `zr-timing` and `zr-sim` into a
+//!   call-tree profile with wall time, thread CPU time and allocation
+//!   counts, exported as a flamegraph-compatible `.folded` file, a
+//!   `profile.json`, or a human report table;
+//! * [`perf`] — the `BENCH_perf.json` report model and the
+//!   calibration-scaled, tolerance-aware regression gate that
+//!   `zr-bench perf` runs against the checked-in baseline
+//!   (`ZR_BLESS=1` re-blesses, mirroring `zr-conform`).
+//!
+//! The `zr-prof` binary renders saved `profile.json` documents
+//! (`zr-prof report <file>`, `zr-prof folded <file>`). Capture itself
+//! lives in the workloads: `zr-bench profile`, or any figure binary
+//! run with `ZR_PROF=<dir>`.
+//!
+//! See `docs/PROFILING.md` for the workflow.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod alloc;
+pub mod clock;
+pub mod json;
+pub mod perf;
+pub mod profile;
+
+pub use alloc::{AllocScope, AllocStats, AllocTotals};
+pub use perf::{GateOutcome, PerfReport, SliceResult, Tolerance};
+pub use profile::{Profile, ProfileNode, Profiler};
+
+/// Environment variable that makes profile-aware binaries capture a
+/// profile into the named directory (`<dir>/<name>.folded` plus
+/// `<dir>/<name>_profile.json`).
+pub const ENV_PROF_DIR: &str = "ZR_PROF";
+
+/// Profile output directory requested through [`ENV_PROF_DIR`], if any
+/// (empty values count as unset).
+pub fn profile_dir() -> Option<std::path::PathBuf> {
+    std::env::var_os(ENV_PROF_DIR)
+        .filter(|v| !v.is_empty())
+        .map(std::path::PathBuf::from)
+}
+
+/// Writes `profile` under `dir` as `<name>.folded` and
+/// `<name>_profile.json`, creating the directory.
+///
+/// # Errors
+///
+/// Propagates IO errors as strings.
+pub fn export_profile(profile: &Profile, dir: &std::path::Path, name: &str) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let folded = dir.join(format!("{name}.folded"));
+    std::fs::write(&folded, profile.to_folded())
+        .map_err(|e| format!("cannot write {}: {e}", folded.display()))?;
+    let json = dir.join(format!("{name}_profile.json"));
+    std::fs::write(&json, profile.to_json().to_pretty())
+        .map_err(|e| format!("cannot write {}: {e}", json.display()))
+}

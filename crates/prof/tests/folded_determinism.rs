@@ -1,0 +1,57 @@
+//! Collapsed-stack export determinism: two identical runs produce
+//! byte-identical `.folded` output (and byte-identical `profile.json`),
+//! regardless of the order measurements arrived in.
+
+use zr_prof::{Profile, Profiler};
+
+/// One synthetic "run" of the simulator: same measurements, different
+/// arrival order per run (the accumulator must not care).
+fn run(order_hint: usize) -> Profile {
+    let p = Profiler::new();
+    let mut records: Vec<(&str, u64, u64, u64, u64)> = vec![
+        ("refresh.window", 120_000, 100_000, 12, 4096),
+        ("memctrl.write", 90_000, 80_000, 30, 9000),
+        ("memctrl.write;transform.encode", 60_000, 55_000, 18, 4500),
+        ("memctrl.read", 40_000, 35_000, 10, 2500),
+        ("memctrl.read;transform.decode", 22_000, 20_000, 6, 1200),
+        ("timing.process", 15_000, 14_000, 3, 800),
+    ];
+    if order_hint % 2 == 1 {
+        records.reverse();
+    }
+    for (path, wall, cpu, allocs, bytes) in records {
+        p.record(path, wall, cpu, allocs, bytes);
+    }
+    p.snapshot()
+}
+
+#[test]
+fn identical_runs_export_byte_identical_folded_files() {
+    let first = run(0);
+    let second = run(1);
+    assert_eq!(first.to_folded(), second.to_folded());
+    assert_eq!(first.to_json().to_pretty(), second.to_json().to_pretty());
+}
+
+#[test]
+fn folded_lines_are_sorted_and_self_valued() {
+    let profile = run(0);
+    let folded = profile.to_folded();
+    let lines: Vec<&str> = folded.lines().collect();
+    assert_eq!(lines.len(), 6);
+    let mut sorted = lines.clone();
+    sorted.sort_unstable();
+    assert_eq!(lines, sorted, "folded output must be path-sorted");
+    // memctrl.write's line carries self time: 90_000 - 60_000.
+    assert!(lines.contains(&"memctrl.write 30000"), "{folded}");
+    // Leaves carry their full time.
+    assert!(lines.contains(&"memctrl.write;transform.encode 60000"));
+}
+
+#[test]
+fn folded_survives_json_round_trip() {
+    let profile = run(0);
+    let doc = zr_prof::json::Json::parse(&profile.to_json().to_pretty()).unwrap();
+    let back = Profile::from_json(&doc).unwrap();
+    assert_eq!(back.to_folded(), profile.to_folded());
+}

@@ -56,7 +56,9 @@ pub fn measure_with_policy(
     // Everything recorded inside this run — refresh-window summaries,
     // skip decisions, transform events — is tagged with the workload.
     let _scope = telemetry.scope(benchmark.name());
+    let populate_span = telemetry.span("sim.populate");
     let mut ps = build_system(benchmark, alloc_fraction, policy, exp)?;
+    drop(populate_span);
     let profile = benchmark.profile();
     let mut trace = TraceGenerator::new(
         profile,
@@ -69,6 +71,7 @@ pub fn measure_with_policy(
     ps.system.run_refresh_window();
     let mut stats = WindowStats::default();
     for _ in 0..exp.windows {
+        let _window_span = telemetry.span("sim.window");
         for w in trace.window_writes(exp.window_scale()) {
             let line = LineAddr(w.page * LINES_PER_REGION as u64 + w.line_in_page as u64);
             ps.system.write_line(line, &w.data)?;

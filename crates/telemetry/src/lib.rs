@@ -36,11 +36,12 @@ pub use registry::{
     duration_ns_bounds, fraction_bounds, Counter, Gauge, Histogram, HistogramSnapshot, Registry,
     Snapshot,
 };
-pub use span::{ScopeGuard, Span};
+pub use span::{set_span_observer, ScopeGuard, Span, SpanObserver};
 
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 /// Whether the linked `serde_json` actually serializes values.
 ///
@@ -106,6 +107,10 @@ pub struct Telemetry {
     registry: Registry,
     sink: RwLock<Option<Arc<EventSink>>>,
     active: AtomicBool,
+    /// Span histograms by static name, so the active span path resolves
+    /// its `span.<name>` histogram without formatting the name (and
+    /// therefore without allocating) after the first use.
+    span_cache: Mutex<HashMap<&'static str, Histogram>>,
 }
 
 impl Default for Telemetry {
@@ -121,6 +126,7 @@ impl Telemetry {
             registry: Registry::new(),
             sink: RwLock::new(None),
             active: AtomicBool::new(false),
+            span_cache: Mutex::new(HashMap::new()),
         }
     }
 
@@ -222,16 +228,29 @@ impl Telemetry {
 
     /// Starts a phase span named `name`, recording elapsed wall time
     /// into the `span.<name>` histogram when dropped. Returns an inert
-    /// guard (no clock read) while the instance is inactive.
+    /// guard (no clock read, no allocation) while the instance is
+    /// inactive; while active, the histogram handle is cached per name
+    /// so only the first span of each name formats and registers it.
     #[inline]
     pub fn span(&self, name: &'static str) -> Span {
         if !self.is_active() {
             return Span::noop();
         }
+        Span::enter(name, self.span_histogram(name))
+    }
+
+    /// The `span.<name>` histogram for `name`, registering it on first
+    /// use and serving cache hits allocation-free afterwards.
+    fn span_histogram(&self, name: &'static str) -> Histogram {
+        let mut cache = self.span_cache.lock().expect("span cache lock");
+        if let Some(histogram) = cache.get(name) {
+            return histogram.clone();
+        }
         let histogram = self
             .registry
             .histogram(&format!("span.{name}"), &duration_ns_bounds());
-        Span::enter(name, histogram)
+        cache.insert(name, histogram.clone());
+        histogram
     }
 
     /// Pushes `name` onto this thread's scope stack; events recorded

@@ -10,8 +10,21 @@
 //! A [`ScopeGuard`] tags everything recorded on the thread with a
 //! logical scope (typically `<figure>.<workload>`); nested scopes join
 //! with dots.
+//!
+//! # Observers
+//!
+//! A process-wide [`SpanObserver`] can be installed with
+//! [`set_span_observer`] to watch span entry/exit together with the full
+//! parent stack of the span (root first). This is the hook `zr-prof`
+//! uses to build call-tree profiles out of the existing instrumentation
+//! points: the observer sees `["refresh.window"]` when the refresh span
+//! opens at top level and `["memctrl.write", "transform.encode"]` when
+//! the encode span opens under a controller write. Observer callbacks
+//! run on the instrumented thread while span bookkeeping is in progress,
+//! so they must not create or drop spans themselves.
 
 use std::cell::RefCell;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use crate::registry::Histogram;
@@ -19,6 +32,40 @@ use crate::registry::Histogram;
 thread_local! {
     static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
     static SCOPE_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Process-wide span observer, set at most once (see
+/// [`set_span_observer`]).
+static OBSERVER: OnceLock<Arc<dyn SpanObserver>> = OnceLock::new();
+
+/// Callbacks fired when instrumented spans open and close, with the full
+/// span stack (root first, the subject span last).
+///
+/// Implementations must be cheap and must not enter or drop spans from
+/// inside the callbacks (the thread's span stack is being updated around
+/// them).
+pub trait SpanObserver: Send + Sync {
+    /// A span was entered; `stack` ends with the new span's name.
+    fn on_enter(&self, stack: &[&'static str]);
+
+    /// A span closed after `wall_ns` nanoseconds; `stack` ends with the
+    /// closing span's name and lists its live ancestors before it.
+    fn on_exit(&self, stack: &[&'static str], wall_ns: u64);
+}
+
+/// Installs the process-wide [`SpanObserver`]. Returns `false` (leaving
+/// the existing observer in place) if one was already installed.
+///
+/// Observers only see spans handed out while their [`crate::Telemetry`]
+/// instance is active; profiling tools therefore activate the instance
+/// they piggyback on.
+pub fn set_span_observer(observer: Arc<dyn SpanObserver>) -> bool {
+    OBSERVER.set(observer).is_ok()
+}
+
+#[inline]
+fn observer() -> Option<&'static Arc<dyn SpanObserver>> {
+    OBSERVER.get()
 }
 
 /// Innermost live span name on this thread, if any.
@@ -84,7 +131,13 @@ impl Span {
 
     /// Starts timing `name`, recording into `histogram` on drop.
     pub(crate) fn enter(name: &'static str, histogram: Histogram) -> Self {
-        SPAN_STACK.with(|s| s.borrow_mut().push(name));
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            stack.push(name);
+            if let Some(obs) = observer() {
+                obs.on_enter(&stack);
+            }
+        });
         Span {
             live: Some(LiveSpan {
                 name,
@@ -98,17 +151,71 @@ impl Span {
 impl Drop for Span {
     fn drop(&mut self) {
         if let Some(live) = self.live.take() {
-            live.histogram
-                .observe(live.started.elapsed().as_nanos() as f64);
+            let wall_ns = live.started.elapsed().as_nanos() as u64;
+            live.histogram.observe(wall_ns as f64);
             // Guards may be dropped out of LIFO order when held across
             // scopes; remove the innermost entry with this name instead
             // of blindly popping.
             SPAN_STACK.with(|s| {
                 let mut stack = s.borrow_mut();
                 if let Some(pos) = stack.iter().rposition(|n| *n == live.name) {
+                    // The ancestry prefix ending at this span is the
+                    // stack the observer's tree model attributes the
+                    // elapsed time to; for LIFO usage it is exactly the
+                    // enter-time stack.
+                    if let Some(obs) = observer() {
+                        obs.on_exit(&stack[..=pos], wall_ns);
+                    }
                     stack.remove(pos);
                 }
             });
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Collects every callback so the nesting model can be asserted.
+    #[derive(Default)]
+    struct Recording {
+        enters: Mutex<Vec<Vec<&'static str>>>,
+        exits: Mutex<Vec<(Vec<&'static str>, u64)>>,
+    }
+
+    impl SpanObserver for Recording {
+        fn on_enter(&self, stack: &[&'static str]) {
+            self.enters.lock().unwrap().push(stack.to_vec());
+        }
+        fn on_exit(&self, stack: &[&'static str], wall_ns: u64) {
+            self.exits.lock().unwrap().push((stack.to_vec(), wall_ns));
+        }
+    }
+
+    #[test]
+    fn observer_sees_parent_stacks_and_installs_once() {
+        let rec = Arc::new(Recording::default());
+        // First install wins; this test binary installs exactly here.
+        assert!(set_span_observer(rec.clone()));
+        assert!(!set_span_observer(Arc::new(Recording::default())));
+
+        let t = crate::Telemetry::new();
+        t.activate();
+        {
+            let _outer = t.span("outer.phase");
+            let _inner = t.span("inner.phase");
+        }
+        let enters = rec.enters.lock().unwrap().clone();
+        assert_eq!(
+            enters,
+            vec![vec!["outer.phase"], vec!["outer.phase", "inner.phase"],]
+        );
+        let exits = rec.exits.lock().unwrap().clone();
+        assert_eq!(exits.len(), 2);
+        // Inner drops first, with its full ancestry.
+        assert_eq!(exits[0].0, vec!["outer.phase", "inner.phase"]);
+        assert_eq!(exits[1].0, vec!["outer.phase"]);
     }
 }

@@ -167,6 +167,7 @@ impl MemoryTimingSim {
     /// Returns [`Error::AddressOutOfRange`] for requests beyond the
     /// capacity.
     pub fn process(&mut self, requests: &[MemoryRequest]) -> Result<TimingStats> {
+        let _span = self.telemetry.span("timing.process");
         let before = self.stats;
         let sets = self.geom.ar_sets_per_bank();
         // One clone per batch so the closure below doesn't alias `self`.

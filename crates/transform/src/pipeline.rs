@@ -189,6 +189,7 @@ impl ValueTransformer {
     /// Returns [`zr_types::Error::BadLength`] if `line` does not match the
     /// configured cacheline size.
     pub fn decode_in_place(&self, line: &mut [u8], row: RowIndex) -> Result<()> {
+        let _span = self.telemetry.span("transform.decode");
         self.metrics.decode_calls.inc();
         if self.trace.is_active() {
             let inverted = self.stages.cell_aware && self.cell_type(row) == CellType::Anti;
