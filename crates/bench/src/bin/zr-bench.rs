@@ -22,7 +22,10 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use zr_bench::perf::{perf_experiment_config, run_perf_suite, PerfOptions, FIG14_SUBSET};
+use zr_bench::perf::{
+    parallel_speedup, perf_experiment_config, run_perf_suite, PerfOptions, FIG14_SUBSET,
+    PARALLEL_SLICE_THREADS,
+};
 use zr_prof::perf::{
     bless_requested, default_baseline_path, gate, GateOutcome, PerfReport, Tolerance,
 };
@@ -81,6 +84,9 @@ fn cmd_perf(rest: &[String]) -> ExitCode {
             s.allocs,
         );
     }
+    if !check_parallel_speedup(&current) {
+        return ExitCode::FAILURE;
+    }
     let baseline_path = default_baseline_path();
     if bless_requested() {
         return match current.write(&baseline_path) {
@@ -119,6 +125,40 @@ fn cmd_perf(rest: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Reports the measured pool speedup (serial vs parallel fig14 subset)
+/// and enforces the ≥2× floor — but only on machines with at least
+/// [`PARALLEL_SLICE_THREADS`] hardware threads, where the pinned
+/// 4-worker slice can actually run concurrently. On smaller machines
+/// (or when cores are contended) the speedup is reported for
+/// information only.
+fn check_parallel_speedup(current: &PerfReport) -> bool {
+    const MIN_SPEEDUP: f64 = 2.0;
+    let Some(speedup) = parallel_speedup(current) else {
+        eprintln!("[zr-bench] parallel speedup: slices missing, skipping check");
+        return true;
+    };
+    let cores = zr_par::available_parallelism();
+    if cores < PARALLEL_SLICE_THREADS {
+        eprintln!(
+            "[zr-bench] parallel speedup {speedup:.2}x at {PARALLEL_SLICE_THREADS} threads \
+             (informational: only {cores} hardware thread(s), floor not enforced)"
+        );
+        return true;
+    }
+    if speedup < MIN_SPEEDUP {
+        eprintln!(
+            "[zr-bench] FAIL parallel speedup {speedup:.2}x at {PARALLEL_SLICE_THREADS} threads \
+             is below the {MIN_SPEEDUP:.1}x floor ({cores} hardware threads available)"
+        );
+        return false;
+    }
+    eprintln!(
+        "[zr-bench] parallel speedup {speedup:.2}x at {PARALLEL_SLICE_THREADS} threads \
+         (floor {MIN_SPEEDUP:.1}x)"
+    );
+    true
 }
 
 fn cmd_profile(rest: &[String]) -> ExitCode {

@@ -7,7 +7,8 @@
 use zr_dram::RefreshPolicy;
 use zr_energy::{power::DevicePowerModel, sram};
 use zr_sim::experiments::{
-    datacenter, energy, ipc, ipc_sim, priorwork, refresh, scalability, zeros, ExperimentConfig,
+    datacenter, energy, ipc, ipc_sim, parallel, priorwork, refresh, scalability, zeros,
+    ExperimentConfig,
 };
 use zr_sim::IpcModel;
 use zr_types::{Result, SystemConfig, TemperatureMode, TransformConfig};
@@ -99,6 +100,11 @@ pub fn fig14_refresh_reduction(exp: &ExperimentConfig) -> Result<Vec<(String, [f
 /// [`fig14_refresh_reduction`] restricted to a benchmark subset (the
 /// conformance golden gate pins a fast representative slice).
 ///
+/// Cells are measured on the sweep pool (one job per benchmark ×
+/// allocation cell, in the serial loop's bench-major order) and printed
+/// serially afterwards, so stdout and the JSON report are byte-identical
+/// for every `ZR_THREADS`.
+///
 /// # Errors
 ///
 /// Propagates experiment errors.
@@ -109,13 +115,16 @@ pub fn fig14_refresh_reduction_for(
     report::header("Fig. 14: Normalized refresh operations (100/88/70/28% alloc)");
     report::columns("benchmark", &["100%", "88%", "70%", "28%"]);
     let allocs = [1.0, 0.88, 0.70, 0.28];
+    let flat = parallel::sweep_with(exp.effective_threads(), benches.len() * allocs.len(), |i| {
+        Ok(refresh::measure(benches[i / allocs.len()], allocs[i % allocs.len()], exp)?.normalized)
+    })?;
     let mut rows = Vec::new();
     let mut means = [0.0f64; 4];
-    for &b in benches {
+    for (bi, &b) in benches.iter().enumerate() {
         let mut cells = [0.0f64; 4];
-        for (i, &a) in allocs.iter().enumerate() {
-            cells[i] = refresh::measure(b, a, exp)?.normalized;
-            means[i] += cells[i];
+        for (i, cell) in cells.iter_mut().enumerate() {
+            *cell = flat[bi * allocs.len() + i];
+            means[i] += *cell;
         }
         report::row(b.name(), &cells);
         rows.push((b.name().to_string(), cells));
@@ -151,13 +160,19 @@ pub fn fig15_energy_for(
     report::header("Fig. 15: Normalized refresh energy (overheads included)");
     report::columns("benchmark", &["100%", "88%", "70%", "28%"]);
     let allocs = [1.0, 0.88, 0.70, 0.28];
+    let flat = parallel::sweep_with(exp.effective_threads(), benches.len() * allocs.len(), |i| {
+        Ok(
+            energy::measure(benches[i / allocs.len()], allocs[i % allocs.len()], exp)?
+                .normalized_energy,
+        )
+    })?;
     let mut rows = Vec::new();
     let mut means = [0.0f64; 4];
-    for &b in benches {
+    for (bi, &b) in benches.iter().enumerate() {
         let mut cells = [0.0f64; 4];
-        for (i, &a) in allocs.iter().enumerate() {
-            cells[i] = energy::measure(b, a, exp)?.normalized_energy;
-            means[i] += cells[i];
+        for (i, cell) in cells.iter_mut().enumerate() {
+            *cell = flat[bi * allocs.len() + i];
+            means[i] += *cell;
         }
         report::row(b.name(), &cells);
         rows.push((b.name().to_string(), cells));
@@ -193,10 +208,12 @@ pub fn fig16_temperature_for(
 ) -> Result<Vec<(String, f64, f64)>> {
     report::header("Fig. 16: Normalized refresh, extended (32ms) vs normal (64ms)");
     report::columns("benchmark", &["32ms", "64ms"]);
+    let pairs = parallel::sweep_with(exp.effective_threads(), benches.len(), |i| {
+        refresh::temperature_compare(benches[i], exp)
+    })?;
     let mut out = Vec::new();
     let (mut m32, mut m64) = (0.0, 0.0);
-    for &b in benches {
-        let (ext, norm) = refresh::temperature_compare(b, exp)?;
+    for (&b, (ext, norm)) in benches.iter().zip(&pairs) {
         report::row(b.name(), &[ext.normalized, norm.normalized]);
         m32 += ext.normalized;
         m64 += norm.normalized;
@@ -250,10 +267,13 @@ pub fn fig17_ipc(exp: &ExperimentConfig) -> Result<Vec<ipc::IpcMeasurement>> {
 pub fn fig18_row_size(exp: &ExperimentConfig) -> Result<Vec<(String, [f64; 3])>> {
     report::header("Fig. 18: Normalized refresh with 2K/4K/8K row buffers");
     report::columns("benchmark", &["2KB", "4KB", "8KB"]);
+    let benches = Benchmark::all();
+    let sweeps = parallel::sweep_with(exp.effective_threads(), benches.len(), |i| {
+        refresh::row_size_sweep(benches[i], exp)
+    })?;
     let mut rows = Vec::new();
     let mut means = [0.0f64; 3];
-    for &b in Benchmark::all() {
-        let sweep = refresh::row_size_sweep(b, exp)?;
+    for (&b, sweep) in benches.iter().zip(&sweeps) {
         let cells = [
             sweep[0].1.normalized,
             sweep[1].1.normalized,

@@ -59,11 +59,17 @@ pub fn experiment_config() -> ExperimentConfig {
 /// so the trace file on disk ends on a complete frame. When `ZR_PROF`
 /// names a directory, the span profiler is installed for the run and
 /// the captured profile is exported there as `<name>.folded` plus
-/// `<name>_profile.json`.
+/// `<name>_profile.json` — the profiler is a process-wide span observer
+/// with per-thread span stacks, so sweep-pool workers (`ZR_THREADS`,
+/// see `docs/PARALLELISM.md`) accumulate into one merged profile rather
+/// than interleaving.
 ///
 /// On completion a one-line wall-time and throughput summary (chip-row
-/// refresh decisions and cacheline accesses per second, from the
-/// process-wide counters) is printed to stderr.
+/// refresh decisions and cacheline accesses per second, plus the sweep
+/// thread count) is printed to stderr as a single write. The counter
+/// deltas are taken on the harness telemetry instance *after* the pool
+/// has absorbed every worker's registry, so they aggregate across
+/// workers and are thread-count invariant.
 ///
 /// The `src/bin/*` report binaries all go through this wrapper:
 ///
@@ -74,7 +80,7 @@ pub fn experiment_config() -> ExperimentConfig {
 /// .expect("experiment failed");
 /// ```
 pub fn run_figure<T>(name: &str, f: impl FnOnce() -> T) -> T {
-    let telemetry = Telemetry::global();
+    let telemetry = Telemetry::current();
     let _scope = telemetry.scope(name);
     let profiler = zr_prof::profile_dir().map(|dir| (zr_prof::Profiler::install_global(), dir));
     let before = telemetry.snapshot();
@@ -90,7 +96,7 @@ pub fn run_figure<T>(name: &str, f: impl FnOnce() -> T) -> T {
             Err(e) => eprintln!("[zr-bench] failed to write {}: {e}", path.display()),
         }
     }
-    let trace = zr_trace::TraceRecorder::global();
+    let trace = zr_trace::TraceRecorder::current();
     if trace.is_active() {
         trace.finalize();
         eprintln!(
@@ -112,12 +118,17 @@ pub fn run_figure<T>(name: &str, f: impl FnOnce() -> T) -> T {
     let rows = delta("dram.refresh.rows_refreshed") + delta("dram.refresh.rows_skipped");
     let accesses = delta("memctrl.reads") + delta("memctrl.writes");
     let secs = wall.as_secs_f64().max(f64::EPSILON);
-    eprintln!(
-        "[zr-bench] {name}: {:.2}s wall, {rows} chip-row decisions ({:.0}/s), \
-         {accesses} line accesses ({:.0}/s)",
+    // One pre-formatted write: worker threads (and anything else on
+    // stderr) cannot interleave into the middle of the summary line.
+    let summary = format!(
+        "[zr-bench] {name}: {:.2}s wall @ {} thread(s), {rows} chip-row decisions ({:.0}/s), \
+         {accesses} line accesses ({:.0}/s)\n",
         wall.as_secs_f64(),
+        zr_par::thread_count(),
         rows as f64 / secs,
         accesses as f64 / secs,
     );
+    use std::io::Write as _;
+    let _ = std::io::stderr().write_all(summary.as_bytes());
     out
 }

@@ -2,11 +2,15 @@
 //! wall time, simulated throughput and allocation counts seed the
 //! repo-root `BENCH_perf.json` regression baseline.
 //!
-//! Three slices cover the stack end to end:
+//! Four slices cover the stack end to end:
 //!
 //! - `fig14_subset` — the six-benchmark conformance subset of the
 //!   Fig. 14 refresh-reduction experiment (full system: workload trace →
 //!   transform → rank → refresh engine);
+//! - `fig14_subset_parallel` — the same six measurements on the
+//!   [`zr_par`] sweep pool pinned at [`PARALLEL_SLICE_THREADS`]
+//!   workers, so the pool's speedup (and any scaling regression) is
+//!   part of the gated baseline;
 //! - `dram_refresh_soak` — steady-state refresh windows over a
 //!   pre-populated rank with no intervening traffic (refresh engine +
 //!   discharge tracker dominated);
@@ -26,7 +30,7 @@ use zr_memctrl::MemoryController;
 use zr_prof::alloc::AllocScope;
 use zr_prof::clock;
 use zr_prof::perf::{calibrate_best, calibration_iters, PerfReport, SliceResult};
-use zr_sim::experiments::{refresh, ExperimentConfig};
+use zr_sim::experiments::{parallel, refresh, ExperimentConfig};
 use zr_transform::ValueTransformer;
 use zr_types::geometry::{LineAddr, RowIndex};
 use zr_types::{Result, SystemConfig};
@@ -46,6 +50,11 @@ pub const FIG14_SUBSET: [Benchmark; 6] = [
 /// Fixed seed of the perf workloads (distinct from the unit-test and
 /// conformance seeds so blessing a perf baseline couples to neither).
 pub const PERF_SEED: u64 = 0x00BE_4C42;
+
+/// Pool width of the `fig14_subset_parallel` slice. Pinned (rather than
+/// reading `ZR_THREADS`) so the slice measures the same configuration on
+/// every machine and against every baseline.
+pub const PARALLEL_SLICE_THREADS: usize = 4;
 
 /// Options of one suite run.
 #[derive(Debug, Clone, Copy)]
@@ -94,6 +103,9 @@ pub fn run_perf_suite(opts: &PerfOptions) -> Result<PerfReport> {
     let exp = perf_experiment_config(opts.quick);
     let slices = vec![
         measure_slice("fig14_subset", "chip_rows", runs, || fig14_subset(&exp))?,
+        measure_slice("fig14_subset_parallel", "chip_rows", runs, || {
+            fig14_subset_parallel(&exp)
+        })?,
         measure_slice("dram_refresh_soak", "chip_rows", runs, || {
             dram_refresh_soak(if opts.quick { 256 } else { 1024 })
         })?,
@@ -147,6 +159,37 @@ fn fig14_subset(exp: &ExperimentConfig) -> Result<u64> {
         units += m.stats.rows_refreshed + m.stats.rows_skipped;
     }
     Ok(units)
+}
+
+/// The same work as [`fig14_subset`], run on the sweep pool at
+/// [`PARALLEL_SLICE_THREADS`] workers. Work units are identical to the
+/// serial slice by the pool's determinism contract, so the two slices'
+/// wall times are directly comparable and their ratio is the pool
+/// speedup ([`parallel_speedup`]). Allocation counts are NOT
+/// comparable to the serial slice: `AllocScope` windows are per-thread,
+/// so this slice's count covers only the submitting thread's pool
+/// bookkeeping, not the workers' simulation traffic.
+fn fig14_subset_parallel(exp: &ExperimentConfig) -> Result<u64> {
+    let measurements = parallel::sweep_with(PARALLEL_SLICE_THREADS, FIG14_SUBSET.len(), |i| {
+        refresh::measure(FIG14_SUBSET[i], 1.0, exp)
+    })?;
+    Ok(measurements
+        .iter()
+        .map(|m| m.stats.rows_refreshed + m.stats.rows_skipped)
+        .sum())
+}
+
+/// The measured pool speedup of this report: best serial `fig14_subset`
+/// wall time over best `fig14_subset_parallel` wall time. `None` when
+/// either slice is missing (e.g. a baseline from before the parallel
+/// slice existed).
+pub fn parallel_speedup(report: &PerfReport) -> Option<f64> {
+    let serial = report.slice("fig14_subset")?;
+    let parallel = report.slice("fig14_subset_parallel")?;
+    if parallel.wall_ns_best == 0 {
+        return None;
+    }
+    Some(serial.wall_ns_best as f64 / parallel.wall_ns_best as f64)
 }
 
 /// Steady-state refresh soak: populate a small rank with a
@@ -215,7 +258,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn quick_suite_produces_all_three_slices() {
+    fn quick_suite_produces_all_four_slices() {
         let report = run_perf_suite(&PerfOptions {
             quick: true,
             runs: Some(1),
@@ -223,7 +266,12 @@ mod tests {
         .unwrap();
         assert!(report.quick);
         assert!(report.calibration_wall_ns > 0);
-        for name in ["fig14_subset", "dram_refresh_soak", "transform_roundtrip"] {
+        for name in [
+            "fig14_subset",
+            "fig14_subset_parallel",
+            "dram_refresh_soak",
+            "transform_roundtrip",
+        ] {
             let slice = report
                 .slice(name)
                 .unwrap_or_else(|| panic!("{name} missing"));
@@ -239,5 +287,25 @@ mod tests {
         assert_eq!(fig14_subset(&exp).unwrap(), fig14_subset(&exp).unwrap());
         assert_eq!(dram_refresh_soak(8).unwrap(), dram_refresh_soak(8).unwrap());
         assert_eq!(transform_roundtrip(100).unwrap(), 100);
+    }
+
+    #[test]
+    fn parallel_slice_does_the_same_work_as_the_serial_one() {
+        let exp = perf_experiment_config(true);
+        assert_eq!(
+            fig14_subset(&exp).unwrap(),
+            fig14_subset_parallel(&exp).unwrap()
+        );
+    }
+
+    #[test]
+    fn parallel_speedup_reads_both_slices() {
+        let report = run_perf_suite(&PerfOptions {
+            quick: true,
+            runs: Some(1),
+        })
+        .unwrap();
+        let speedup = parallel_speedup(&report).expect("both slices present");
+        assert!(speedup > 0.0);
     }
 }

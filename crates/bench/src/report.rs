@@ -82,7 +82,7 @@ pub fn write_json<T: serde::Serialize>(name: &str, data: &T) {
     let Some(dir) = json_output_dir() else {
         return;
     };
-    write_json_with(Telemetry::global(), &dir, name, data);
+    write_json_with(&Telemetry::current(), &dir, name, data);
 }
 
 /// [`write_json`] against an explicit telemetry instance and directory

@@ -1,0 +1,79 @@
+//! Parallel ≡ serial equivalence of the figure sweeps.
+//!
+//! Each test runs a figure function twice — once with the experiment
+//! pinned to the exact serial path (`threads: Some(1)`) and once on a
+//! four-worker pool — and asserts the returned figure data AND its
+//! serialized JSON report are byte-identical. This is the user-facing
+//! half of the determinism contract in
+//! `crates/sim/src/experiments/parallel.rs`; `ZR_THREADS` must never
+//! change a reported number.
+
+use zr_bench::figures;
+use zr_sim::experiments::ExperimentConfig;
+use zr_workloads::Benchmark;
+
+/// Fast representative slice: a friendly scientific workload, a hostile
+/// pointer-chaser and a database scan.
+const SUBSET: [Benchmark; 3] = [Benchmark::GemsFdtd, Benchmark::Mcf, Benchmark::TpchQ6];
+
+fn exp_at(threads: usize) -> ExperimentConfig {
+    ExperimentConfig {
+        capacity_bytes: 4 << 20,
+        windows: 2,
+        threads: Some(threads),
+        ..ExperimentConfig::default()
+    }
+}
+
+/// Serializes figure data exactly like `report::write_json` does, so a
+/// byte comparison here covers the on-disk report too. (The structural
+/// `assert_eq!` on the returned data is the primary gate; this adds the
+/// byte-level check wherever a real serde_json is linked.)
+fn as_report_json<T: serde::Serialize>(data: &T) -> String {
+    serde_json::to_string_pretty(data).expect("figure data serializes")
+}
+
+#[test]
+fn fig14_report_is_byte_identical_across_thread_counts() {
+    let serial = figures::fig14_refresh_reduction_for(&SUBSET, &exp_at(1)).unwrap();
+    let pooled = figures::fig14_refresh_reduction_for(&SUBSET, &exp_at(4)).unwrap();
+    assert_eq!(serial, pooled, "fig14 data diverged under the pool");
+    assert_eq!(
+        as_report_json(&serial),
+        as_report_json(&pooled),
+        "fig14 JSON report must be byte-identical"
+    );
+}
+
+#[test]
+fn fig15_report_is_byte_identical_across_thread_counts() {
+    let serial = figures::fig15_energy_for(&SUBSET, &exp_at(1)).unwrap();
+    let pooled = figures::fig15_energy_for(&SUBSET, &exp_at(4)).unwrap();
+    assert_eq!(serial, pooled, "fig15 data diverged under the pool");
+    assert_eq!(
+        as_report_json(&serial),
+        as_report_json(&pooled),
+        "fig15 JSON report must be byte-identical"
+    );
+}
+
+#[test]
+fn fig16_report_is_byte_identical_across_thread_counts() {
+    let serial = figures::fig16_temperature_for(&SUBSET, &exp_at(1)).unwrap();
+    let pooled = figures::fig16_temperature_for(&SUBSET, &exp_at(4)).unwrap();
+    assert_eq!(serial, pooled, "fig16 data diverged under the pool");
+    assert_eq!(
+        as_report_json(&serial),
+        as_report_json(&pooled),
+        "fig16 JSON report must be byte-identical"
+    );
+}
+
+#[test]
+fn oversubscribed_pool_is_still_identical() {
+    // More workers than jobs (and than machine cores): the pool caps at
+    // the job count and ordering still holds.
+    let serial = figures::fig14_refresh_reduction_for(&SUBSET[..2], &exp_at(1)).unwrap();
+    let pooled = figures::fig14_refresh_reduction_for(&SUBSET[..2], &exp_at(8)).unwrap();
+    assert_eq!(serial, pooled);
+}

@@ -1,0 +1,62 @@
+//! Parallel-consistency oracle check: a seeded differential sweep run
+//! on the `zr-par` pool must produce exactly the same divergence
+//! verdicts (namely: none) as the same sweep run serially.
+//!
+//! `run_differential` builds hermetic per-case engines (private
+//! telemetry, private memory trace), so cases are independent by
+//! construction — this test pins that property against regressions in
+//! either the harness or the pool.
+
+use zr_conform::diff::{generate_commands, run_differential, DiffSetup};
+use zr_dram::RefreshPolicy;
+use zr_types::SystemConfig;
+
+fn base_seed() -> u64 {
+    std::env::var("ZR_CONFORM_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x5EED_C0DE)
+}
+
+fn policies() -> [RefreshPolicy; 3] {
+    [
+        RefreshPolicy::ChargeAware,
+        RefreshPolicy::Conventional,
+        RefreshPolicy::NaiveSram,
+    ]
+}
+
+#[test]
+fn pooled_differential_sweep_matches_serial() {
+    let config = SystemConfig::small_test();
+    let cases: Vec<(RefreshPolicy, u64)> = policies()
+        .iter()
+        .flat_map(|&policy| {
+            (0..4u64).map(move |i| {
+                (
+                    policy,
+                    base_seed() ^ (i.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                )
+            })
+        })
+        .collect();
+    let run_case = |&(policy, seed): &(RefreshPolicy, u64)| {
+        let commands = generate_commands(&config, seed, 96);
+        run_differential(&config, &DiffSetup::clean(policy), &commands)
+            .expect("harness setup must succeed")
+            .map(|report| report.to_string())
+    };
+    let serial: Vec<Option<String>> = cases.iter().map(run_case).collect();
+    let pooled = zr_par::run_jobs(4, cases.len(), |i| run_case(&cases[i]));
+    assert_eq!(
+        serial, pooled,
+        "pool and serial sweeps reached different verdicts"
+    );
+    for ((policy, seed), verdict) in cases.iter().zip(&serial) {
+        assert!(
+            verdict.is_none(),
+            "{policy:?} seed {seed:#x} diverged: {}",
+            verdict.as_deref().unwrap_or_default()
+        );
+    }
+}

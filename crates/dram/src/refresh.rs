@@ -230,7 +230,7 @@ impl RefreshEngine {
             RefreshPolicy::NaiveSram => Some(NaiveSramTracker::new(&geom)),
             _ => None,
         };
-        let telemetry = Arc::clone(Telemetry::global());
+        let telemetry = Telemetry::current();
         let engine = RefreshEngine {
             access: AccessBitTable::new(&geom),
             status: DischargedStatusTable::new(&geom),
@@ -241,7 +241,7 @@ impl RefreshEngine {
             totals: WindowStats::default(),
             metrics: RefreshMetrics::new(&telemetry),
             telemetry,
-            trace: Arc::clone(TraceRecorder::global()),
+            trace: TraceRecorder::current(),
             engine_id: zr_trace::next_engine_id(),
             window_index: 0,
             stagger_skew: 0,

@@ -128,14 +128,14 @@ impl LastLevelCache {
         if !num_sets.is_power_of_two() {
             return Err(Error::invalid_config("set count must be a power of two"));
         }
-        let telemetry = Arc::clone(Telemetry::global());
+        let telemetry = Telemetry::current();
         Ok(LastLevelCache {
             sets: vec![VecDeque::new(); num_sets],
             ways,
             stats: CacheStats::default(),
             metrics: CacheMetrics::new(&telemetry),
             telemetry,
-            trace: Arc::clone(TraceRecorder::global()),
+            trace: TraceRecorder::current(),
         })
     }
 

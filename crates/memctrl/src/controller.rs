@@ -73,9 +73,9 @@ impl MemoryController {
             rank: DramRank::new(config)?,
             engine: RefreshEngine::new(config, policy)?,
             stats: AccessStats::default(),
-            telemetry: Arc::clone(Telemetry::global()),
-            metrics: ControllerMetrics::new(Telemetry::global()),
-            trace: Arc::clone(TraceRecorder::global()),
+            telemetry: Telemetry::current(),
+            metrics: ControllerMetrics::new(&Telemetry::current()),
+            trace: TraceRecorder::current(),
         })
     }
 

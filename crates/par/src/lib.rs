@@ -1,0 +1,238 @@
+//! `zr-par`: a std-only scoped-thread work pool with deterministic
+//! result collection.
+//!
+//! The evaluation sweeps (figure reports, experiment drivers, the
+//! differential fuzzer) run many independent jobs — one per
+//! benchmark × configuration point. This crate runs them on a small
+//! pool of scoped threads while keeping the *observable output
+//! byte-identical to a serial run*:
+//!
+//! - jobs are **indexed** `0..jobs` in submission order;
+//! - workers **steal** the next index from a shared atomic cursor, so
+//!   an expensive job never serializes the jobs behind it;
+//! - each result lands in the **slot of its job index**, and
+//!   [`run_jobs`] returns the slots in submission order — which worker
+//!   computed what is invisible to the caller.
+//!
+//! The pool therefore provides *scheduling* nondeterminism only; any
+//! caller whose jobs are pure (or whose side effects are merged in
+//! submission order, see `zr_sim::experiments::parallel`) gets
+//! bit-reproducible output for every thread count.
+//!
+//! # Thread-count knob
+//!
+//! [`thread_count`] resolves the pool width from the `ZR_THREADS`
+//! environment variable, defaulting to
+//! [`std::thread::available_parallelism`]. `ZR_THREADS=1` (or one
+//! core) selects the exact serial path: jobs run inline on the calling
+//! thread, in order, with no pool machinery at all.
+//!
+//! # No dependencies
+//!
+//! The crate is pure std by design, so the observability crates can use
+//! it in tests without dependency cycles and the workspace gains no
+//! third-party scheduler.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable selecting the pool width (`1` = serial).
+pub const ENV_THREADS: &str = "ZR_THREADS";
+
+/// Pool width from the environment: `ZR_THREADS` when set to a positive
+/// integer, otherwise [`std::thread::available_parallelism`] (1 when
+/// even that is unavailable).
+pub fn thread_count() -> usize {
+    resolve_thread_count(
+        std::env::var(ENV_THREADS).ok().as_deref(),
+        available_parallelism(),
+    )
+}
+
+/// This machine's available parallelism (1 when undetectable).
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Pure resolution of the `ZR_THREADS` value: a positive integer wins;
+/// anything else (unset, empty, `0`, garbage) falls back to `fallback`,
+/// clamped to at least 1.
+pub fn resolve_thread_count(var: Option<&str>, fallback: usize) -> usize {
+    match var.and_then(|v| v.trim().parse::<usize>().ok()) {
+        Some(n) if n > 0 => n,
+        _ => fallback.max(1),
+    }
+}
+
+/// Runs `jobs` indexed jobs on up to `threads` scoped worker threads
+/// and returns the results in submission order.
+///
+/// With `threads <= 1` (or fewer than two jobs) every job runs inline
+/// on the calling thread, in index order — the exact serial path, with
+/// no threads spawned and no locks taken. Otherwise
+/// `min(threads, jobs)` workers repeatedly claim the next unclaimed
+/// index from a shared cursor until all jobs are done.
+///
+/// # Panics
+///
+/// A panicking job panics the pool: the scope joins every worker and
+/// propagates the first panic to the caller.
+pub fn run_jobs<T, F>(threads: usize, jobs: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || jobs <= 1 {
+        return (0..jobs).map(job).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let workers = threads.min(jobs);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs {
+                    break;
+                }
+                let value = job(i);
+                *slots[i].lock().expect("result slot lock") = Some(value);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.into_inner()
+                .expect("result slot lock")
+                .unwrap_or_else(|| unreachable!("job {i} joined without a result"))
+        })
+        .collect()
+}
+
+/// [`run_jobs`] for fallible jobs: returns all results in submission
+/// order, or the error of the *lowest-indexed* failing job — the same
+/// error a serial loop would surface — regardless of which worker hit
+/// an error first.
+///
+/// On the serial path (`threads <= 1` or fewer than two jobs) the loop
+/// stops at the first error exactly like today's `for` loops; on the
+/// pool path every job still runs (workers have no cancellation), and
+/// the submission-order error is selected after the join.
+///
+/// # Errors
+///
+/// The error of the lowest-indexed failing job.
+pub fn try_run_jobs<T, E, F>(threads: usize, jobs: usize, job: F) -> Result<Vec<T>, E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize) -> Result<T, E> + Sync,
+{
+    if threads <= 1 || jobs <= 1 {
+        return (0..jobs).map(job).collect();
+    }
+    run_jobs(threads, jobs, job).into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        for threads in [1, 2, 4, 8] {
+            let out = run_jobs(threads, 32, |i| {
+                // Stagger so late-submitted jobs finish first under the
+                // pool; order must not change.
+                if i % 3 == 0 {
+                    std::thread::yield_now();
+                }
+                i * i
+            });
+            assert_eq!(out, (0..32).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let serial = run_jobs(1, 20, |i| (i, i as u64 * 7 + 3));
+        let pooled = run_jobs(4, 20, |i| (i, i as u64 * 7 + 3));
+        assert_eq!(serial, pooled);
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let ran = AtomicU64::new(0);
+        let out = run_jobs(4, 100, |i| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 100);
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn zero_and_one_job_edge_cases() {
+        assert!(run_jobs(4, 0, |i| i).is_empty());
+        assert_eq!(run_jobs(4, 1, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn try_run_surfaces_the_lowest_indexed_error() {
+        for threads in [1, 2, 4] {
+            let out: Result<Vec<usize>, String> = try_run_jobs(threads, 16, |i| {
+                if i == 5 || i == 11 {
+                    Err(format!("job {i}"))
+                } else {
+                    Ok(i)
+                }
+            });
+            assert_eq!(out.unwrap_err(), "job 5", "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn try_run_ok_path_matches_serial() {
+        let serial: Result<Vec<usize>, ()> = try_run_jobs(1, 12, Ok);
+        let pooled: Result<Vec<usize>, ()> = try_run_jobs(3, 12, Ok);
+        assert_eq!(serial, pooled);
+    }
+
+    #[test]
+    fn thread_count_resolution() {
+        // Positive integers win.
+        assert_eq!(resolve_thread_count(Some("4"), 8), 4);
+        assert_eq!(resolve_thread_count(Some(" 2 "), 8), 2);
+        assert_eq!(resolve_thread_count(Some("1"), 8), 1);
+        // Everything else falls back.
+        assert_eq!(resolve_thread_count(Some("0"), 8), 8);
+        assert_eq!(resolve_thread_count(Some(""), 8), 8);
+        assert_eq!(resolve_thread_count(Some("lots"), 8), 8);
+        assert_eq!(resolve_thread_count(None, 8), 8);
+        // The fallback itself is clamped to at least one worker.
+        assert_eq!(resolve_thread_count(None, 0), 1);
+    }
+
+    #[test]
+    fn pool_threads_see_their_own_thread_locals() {
+        thread_local! {
+            static LOCAL: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+        }
+        LOCAL.with(|l| l.set(99));
+        let out = run_jobs(4, 8, |i| {
+            // Worker threads start from a fresh thread-local state, the
+            // property the per-job context installation relies on.
+            let before = LOCAL.with(|l| l.get());
+            LOCAL.with(|l| l.set(i));
+            before
+        });
+        assert_eq!(out.iter().filter(|&&v| v == 99).count(), 0);
+    }
+}

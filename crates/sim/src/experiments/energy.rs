@@ -93,19 +93,19 @@ pub fn measure(
     })
 }
 
-/// The Fig. 15 sweep: every benchmark × the four allocation scenarios.
+/// The Fig. 15 sweep: every benchmark × the four allocation scenarios,
+/// measured on the [`super::parallel`] sweep pool at
+/// [`ExperimentConfig::effective_threads`] with deterministic ordering.
 ///
 /// # Errors
 ///
 /// Returns configuration/address errors from the underlying layers.
 pub fn allocation_sweep(exp: &ExperimentConfig) -> Result<Vec<EnergyMeasurement>> {
-    let mut out = Vec::new();
-    for &alloc in &[1.0, 0.88, 0.70, 0.28] {
-        for &b in Benchmark::all() {
-            out.push(measure(b, alloc, exp)?);
-        }
-    }
-    Ok(out)
+    const ALLOCS: [f64; 4] = [1.0, 0.88, 0.70, 0.28];
+    let benches = Benchmark::all();
+    super::parallel::sweep_with(exp.effective_threads(), ALLOCS.len() * benches.len(), |i| {
+        measure(benches[i % benches.len()], ALLOCS[i / benches.len()], exp)
+    })
 }
 
 #[cfg(test)]

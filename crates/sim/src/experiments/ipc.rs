@@ -35,13 +35,17 @@ pub fn measure(benchmark: Benchmark, exp: &ExperimentConfig) -> Result<IpcMeasur
     })
 }
 
-/// The full Fig. 17 sweep across the suite.
+/// The full Fig. 17 sweep across the suite, one pool job per benchmark
+/// (see [`super::parallel`]; ordering is thread-count invariant).
 ///
 /// # Errors
 ///
 /// Returns configuration/address errors from the underlying layers.
 pub fn suite_sweep(exp: &ExperimentConfig) -> Result<Vec<IpcMeasurement>> {
-    Benchmark::all().iter().map(|&b| measure(b, exp)).collect()
+    let benches = Benchmark::all();
+    super::parallel::sweep_with(exp.effective_threads(), benches.len(), |i| {
+        measure(benches[i], exp)
+    })
 }
 
 /// Mean normalized IPC of a sweep.

@@ -4,6 +4,7 @@ pub mod datacenter;
 pub mod energy;
 pub mod ipc;
 pub mod ipc_sim;
+pub mod parallel;
 pub mod population;
 pub mod priorwork;
 pub mod refresh;
@@ -31,6 +32,11 @@ pub struct ExperimentConfig {
     pub seed: u64,
     /// Transformation stage toggles (ablations disable stages).
     pub transform: zr_types::TransformConfig,
+    /// Sweep-pool width override: `None` defers to `ZR_THREADS` /
+    /// available parallelism (see [`zr_par::thread_count`]); `Some(1)`
+    /// pins the exact serial path. Results are byte-identical for every
+    /// value — this knob trades wall time only.
+    pub threads: Option<usize>,
 }
 
 impl Default for ExperimentConfig {
@@ -42,6 +48,7 @@ impl Default for ExperimentConfig {
             temperature: zr_types::TemperatureMode::Extended,
             seed: 0x5EED,
             transform: zr_types::TransformConfig::paper_default(),
+            threads: None,
         }
     }
 }
@@ -67,6 +74,13 @@ impl ExperimentConfig {
             seed: 0x00C0_F042,
             ..ExperimentConfig::default()
         }
+    }
+
+    /// The sweep-pool width this experiment runs at: the explicit
+    /// [`ExperimentConfig::threads`] override when set, otherwise the
+    /// process-wide [`zr_par::thread_count`] resolution.
+    pub fn effective_threads(&self) -> usize {
+        self.threads.unwrap_or_else(zr_par::thread_count).max(1)
     }
 
     /// The [`zr_types::SystemConfig`] realizing this experiment setup.

@@ -1,0 +1,162 @@
+//! Deterministic parallel execution of experiment sweeps.
+//!
+//! [`sweep_with`] is the one bridge between the experiment drivers and
+//! the [`zr_par`] work pool. It owns the part the raw pool cannot know
+//! about: the observability substrate. Each job runs against a *forked*
+//! [`zr_telemetry::Telemetry`] instance (and a private in-memory
+//! [`zr_trace::TraceRecorder`] when tracing is active), so workers never
+//! contend on — or interleave into — the parent's registry, event sink
+//! or trace stream. After the pool joins, the per-job contexts are
+//! absorbed back into the parent **in submission order**, which makes
+//! the merged counters, histograms, event lines and trace bytes
+//! independent of the thread count and of scheduling.
+//!
+//! The determinism contract, concretely:
+//!
+//! - the returned `Vec` is in submission order for every thread count;
+//! - with several failing jobs, the error returned is the one from the
+//!   lowest submission index (exactly what a serial loop would surface);
+//! - figure JSON reports are byte-identical for `ZR_THREADS=1` and
+//!   `ZR_THREADS=N` (asserted by `crates/bench/tests/parallel_equivalence.rs`);
+//! - merged telemetry registry snapshots are identical for any thread
+//!   count. The raw `events.jsonl` *line order* groups by job rather
+//!   than interleaving, and per-line sequence numbers restart per job —
+//!   aggregate counts are exact, the interleaving is not promised.
+//!
+//! `threads <= 1` (or a single job) takes a literal serial path — no
+//! pool, no forked contexts — so `ZR_THREADS=1` reproduces the
+//! pre-parallelism behaviour bit for bit, event stream included.
+
+use std::sync::Arc;
+
+use zr_telemetry::Telemetry;
+use zr_trace::TraceRecorder;
+use zr_types::Result;
+
+/// Runs `jobs` instances of `f` on a deterministic work pool of
+/// `threads` workers and returns the results in submission order.
+///
+/// Each pool job executes with a forked telemetry context (and, when
+/// tracing is active, a private memory trace recorder) re-rooted under
+/// the submitting thread's current scope path; contexts are merged back
+/// in submission order after the join. See the module docs for the full
+/// determinism contract.
+///
+/// # Errors
+///
+/// Returns the error of the lowest-indexed failing job, as a serial
+/// loop would.
+pub fn sweep_with<T, F>(threads: usize, jobs: usize, f: F) -> Result<Vec<T>>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T> + Sync,
+{
+    if threads <= 1 || jobs <= 1 {
+        return (0..jobs).map(f).collect();
+    }
+
+    let parent_telemetry = Telemetry::current();
+    let parent_trace = TraceRecorder::current();
+    let parent_scope = Telemetry::current_scope_path();
+
+    let outcomes = zr_par::run_jobs(threads, jobs, |i| {
+        let job_telemetry = parent_telemetry.fork_job();
+        let job_trace = if parent_trace.is_active() {
+            Some(Arc::new(TraceRecorder::memory()))
+        } else {
+            None
+        };
+
+        let _tel_guard = Telemetry::push_current(Arc::clone(&job_telemetry));
+        let _trace_guard = job_trace
+            .as_ref()
+            .map(|t| TraceRecorder::push_current(Arc::clone(t)));
+        // Re-root the worker's (empty) span stack under the submitting
+        // thread's scope so per-job events keep the figure-level prefix
+        // a serial run would give them.
+        let _scope_guard = parent_scope.as_deref().map(|p| job_telemetry.scope(p));
+
+        let out = f(i);
+        (out, job_telemetry, job_trace)
+    });
+
+    let mut results = Vec::with_capacity(jobs);
+    let mut first_err = None;
+    for (out, job_telemetry, job_trace) in outcomes {
+        parent_telemetry.absorb_job(&job_telemetry);
+        if let Some(trace) = job_trace {
+            parent_trace.absorb_bytes(&trace.take_bytes());
+        }
+        match out {
+            Ok(v) => results.push(v),
+            Err(e) => {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        }
+    }
+    match first_err {
+        None => Ok(results),
+        Some(e) => Err(e),
+    }
+}
+
+/// [`sweep_with`] at the process-default width ([`zr_par::thread_count`]).
+///
+/// # Errors
+///
+/// Returns the error of the lowest-indexed failing job.
+pub fn sweep<T, F>(jobs: usize, f: F) -> Result<Vec<T>>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T> + Sync,
+{
+    sweep_with(zr_par::thread_count(), jobs, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zr_types::Error;
+
+    #[test]
+    fn sweep_matches_serial_order() {
+        let serial = sweep_with(1, 16, |i| Ok(i * i)).unwrap();
+        let pooled = sweep_with(4, 16, |i| Ok(i * i)).unwrap();
+        assert_eq!(serial, (0..16).map(|i| i * i).collect::<Vec<_>>());
+        assert_eq!(serial, pooled);
+    }
+
+    #[test]
+    fn sweep_surfaces_lowest_indexed_error() {
+        let err = sweep_with(4, 12, |i| -> Result<usize> {
+            if i % 3 == 2 {
+                Err(Error::invalid_config(format!("job {i}")))
+            } else {
+                Ok(i)
+            }
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("job 2"), "got: {err}");
+    }
+
+    #[test]
+    fn pooled_sweep_merges_job_counters_into_parent() {
+        let parent = Arc::new(Telemetry::new());
+        let _guard = Telemetry::push_current(Arc::clone(&parent));
+        sweep_with(4, 8, |i| {
+            Telemetry::current()
+                .registry()
+                .counter("par.test.jobs")
+                .add(1 + i as u64);
+            Ok(())
+        })
+        .unwrap();
+        let snap = parent.registry().snapshot();
+        assert_eq!(
+            snap.counters.get("par.test.jobs").copied(),
+            Some((1..=8).sum::<u64>())
+        );
+    }
+}

@@ -52,7 +52,7 @@ pub fn measure_with_policy(
     policy: RefreshPolicy,
     exp: &ExperimentConfig,
 ) -> Result<RefreshMeasurement> {
-    let telemetry = zr_telemetry::Telemetry::global();
+    let telemetry = zr_telemetry::Telemetry::current();
     // Everything recorded inside this run — refresh-window summaries,
     // skip decisions, transform events — is tagged with the workload.
     let _scope = telemetry.scope(benchmark.name());
@@ -95,17 +95,19 @@ pub fn measure_with_policy(
 /// The Fig. 14 sweep: every benchmark × the four allocation scenarios
 /// (100%, 88% Alibaba, 70% Google, 28% Bitbrains).
 ///
+/// Cells are measured on the [`super::parallel`] sweep pool at
+/// [`ExperimentConfig::effective_threads`]; the returned order (and
+/// every byte of downstream reporting) is identical for any width.
+///
 /// # Errors
 ///
 /// Returns configuration/address errors from the underlying layers.
 pub fn allocation_sweep(exp: &ExperimentConfig) -> Result<Vec<RefreshMeasurement>> {
-    let mut out = Vec::new();
-    for &alloc in &[1.0, 0.88, 0.70, 0.28] {
-        for &b in Benchmark::all() {
-            out.push(measure(b, alloc, exp)?);
-        }
-    }
-    Ok(out)
+    const ALLOCS: [f64; 4] = [1.0, 0.88, 0.70, 0.28];
+    let benches = Benchmark::all();
+    super::parallel::sweep_with(exp.effective_threads(), ALLOCS.len() * benches.len(), |i| {
+        measure(benches[i % benches.len()], ALLOCS[i / benches.len()], exp)
+    })
 }
 
 /// The Fig. 16 comparison: normalized refreshes at extended (32 ms) vs

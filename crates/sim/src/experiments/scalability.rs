@@ -73,16 +73,13 @@ pub fn capacity_sweep(
     // ZERO-REFRESH is value-based: measure once at the experiment scale.
     // (`zero_is_capacity_invariant` below demonstrates the invariance.)
     let zero = refresh::measure(benchmark, 1.0 - idle_fraction, exp)?.normalized;
-    capacities
-        .iter()
-        .map(|&cap| {
-            Ok(ScalabilityPoint {
-                capacity_bytes: cap,
-                smart_normalized: smart_refresh_normalized(benchmark, cap, exp)?,
-                zero_normalized: zero,
-            })
+    super::parallel::sweep_with(exp.effective_threads(), capacities.len(), |i| {
+        Ok(ScalabilityPoint {
+            capacity_bytes: capacities[i],
+            smart_normalized: smart_refresh_normalized(benchmark, capacities[i], exp)?,
+            zero_normalized: zero,
         })
-        .collect()
+    })
 }
 
 #[cfg(test)]

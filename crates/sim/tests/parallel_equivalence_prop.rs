@@ -1,0 +1,48 @@
+//! Property: for ANY (thread count, seed, benchmark subset) triple the
+//! sweep pool returns measurements identical to the serial path —
+//! including the raw `WindowStats`, not just the normalized figures.
+//!
+//! CI pins `PROPTEST_RNG_SEED` so the sampled triples are reproducible;
+//! locally the RNG explores freely and failures shrink as usual.
+
+use proptest::prelude::*;
+use zr_sim::experiments::{parallel, refresh, ExperimentConfig};
+use zr_workloads::Benchmark;
+
+fn tiny_with_seed(seed: u64) -> ExperimentConfig {
+    ExperimentConfig {
+        capacity_bytes: 4 << 20,
+        windows: 2,
+        seed,
+        ..ExperimentConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 4,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn any_thread_count_matches_serial(
+        threads in 2usize..=8,
+        seed in any::<u64>(),
+        picks in proptest::collection::vec(0usize..Benchmark::all().len(), 1..=3),
+    ) {
+        let benches: Vec<Benchmark> =
+            picks.iter().map(|&i| Benchmark::all()[i]).collect();
+        let exp = tiny_with_seed(seed);
+        let serial = parallel::sweep_with(1, benches.len(), |i| {
+            refresh::measure(benches[i], 1.0, &exp)
+        })
+        .unwrap();
+        let pooled = parallel::sweep_with(threads, benches.len(), |i| {
+            refresh::measure(benches[i], 1.0, &exp)
+        })
+        .unwrap();
+        // RefreshMeasurement is PartialEq over benchmark, allocation,
+        // normalized value and the full WindowStats.
+        prop_assert_eq!(serial, pooled);
+    }
+}

@@ -257,6 +257,38 @@ impl EventSink {
         }
     }
 
+    /// The sampling configuration this sink was built with (per-job
+    /// forks copy it so a pooled sweep samples at the same rate).
+    pub fn sample_config(&self) -> SampleConfig {
+        self.sample
+    }
+
+    /// Appends already-serialized JSONL records, bypassing sampling
+    /// (the producing sink sampled them already).
+    ///
+    /// This is the merge path of the parallel sweep layer: each job
+    /// records into a private memory sink, and at join time the parent
+    /// absorbs every job's lines *in submission order*, so the merged
+    /// stream is grouped by job exactly like a serial run — not
+    /// interleaved by scheduling. The lines keep the `seq`/`t_us`
+    /// values their job sink assigned (per-job sequence numbers restart
+    /// at 0).
+    pub fn append_lines(&self, lines: Vec<String>) {
+        if lines.is_empty() {
+            return;
+        }
+        self.seq.fetch_add(lines.len() as u64, Ordering::Relaxed);
+        let mut target = self.target.lock().expect("sink lock");
+        match &mut *target {
+            Target::Memory(buf) => buf.extend(lines),
+            Target::File(w) => {
+                for line in &lines {
+                    let _ = writeln!(w, "{line}");
+                }
+            }
+        }
+    }
+
     /// Events recorded so far.
     pub fn recorded(&self) -> u64 {
         self.seq.load(Ordering::Relaxed)
@@ -353,6 +385,22 @@ mod tests {
             assert!(content.contains("\"span\":\"refresh.window\""));
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn append_lines_preserves_order_and_counts() {
+        let sink = EventSink::memory(SampleConfig { rate: 2 });
+        assert_eq!(sink.sample_config().rate, 2);
+        sink.record(&window_event(), None, None);
+        // Raw lines append after existing records, in the given order,
+        // without being re-sampled.
+        sink.append_lines(vec!["{\"job\":0}".into(), "{\"job\":1}".into()]);
+        sink.append_lines(Vec::new()); // no-op
+        assert_eq!(sink.recorded(), 3);
+        let lines = sink.take_lines();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[1], "{\"job\":0}");
+        assert_eq!(lines[2], "{\"job\":1}");
     }
 
     #[test]

@@ -21,9 +21,16 @@
 //! single relaxed atomic load per would-be span/event plus plain
 //! relaxed counter increments.
 //!
-//! Components default to [`Telemetry::global`] but expose
+//! Components default to [`Telemetry::current`] — the thread's
+//! installed override if any (see [`Telemetry::push_current`]),
+//! falling back to [`Telemetry::global`] — and expose
 //! `set_telemetry(Arc<Telemetry>)` so tests can install a private
-//! instance and assert on it hermetically.
+//! instance and assert on it hermetically. The parallel sweep layer
+//! (`zr-par` / `zr_sim::experiments::parallel`) uses the same two
+//! hooks: each pool worker runs its job under a forked per-job
+//! instance ([`Telemetry::fork_job`]) and the parent absorbs the jobs
+//! in submission order at join ([`Telemetry::absorb_job`]), so pooled
+//! sweeps never interleave writes into one sink.
 
 #![warn(missing_docs)]
 
@@ -38,10 +45,17 @@ pub use registry::{
 };
 pub use span::{set_span_observer, ScopeGuard, Span, SpanObserver};
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
+
+thread_local! {
+    /// Per-thread stack of [`Telemetry::push_current`] overrides; the
+    /// innermost entry is what [`Telemetry::current`] resolves to.
+    static CURRENT: RefCell<Vec<Arc<Telemetry>>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Whether the linked `serde_json` actually serializes values.
 ///
@@ -139,6 +153,84 @@ impl Telemetry {
             telemetry.init_from_env();
             Arc::new(telemetry)
         })
+    }
+
+    /// The telemetry instance instrumented components should bind: the
+    /// innermost [`Telemetry::push_current`] override on this thread,
+    /// or [`Telemetry::global`] when none is installed.
+    ///
+    /// Construction-time captures (`Arc::clone(Telemetry::global())`)
+    /// across the stack go through this, so building a component inside
+    /// a pool worker (or a hermetic test) wires it to the job's private
+    /// instance with no plumbing.
+    pub fn current() -> Arc<Telemetry> {
+        CURRENT
+            .with(|c| c.borrow().last().cloned())
+            .unwrap_or_else(|| Arc::clone(Telemetry::global()))
+    }
+
+    /// Installs `telemetry` as this thread's [`Telemetry::current`]
+    /// until the returned guard drops. Overrides nest (innermost wins).
+    #[must_use = "dropping the guard immediately uninstalls the override"]
+    pub fn push_current(telemetry: Arc<Telemetry>) -> CurrentGuard {
+        CURRENT.with(|c| c.borrow_mut().push(telemetry));
+        CurrentGuard(())
+    }
+
+    /// The dot-joined scope path active on this thread, if any — what a
+    /// recorded event would carry in its `scope` field right now. The
+    /// sweep pool captures this on the submitting thread and re-roots
+    /// each worker's scope stack under it, so per-job events keep the
+    /// figure-level prefix a serial run would give them.
+    pub fn current_scope_path() -> Option<String> {
+        span::current_scope()
+    }
+
+    /// A fresh private instance mirroring this one's activation, for
+    /// one pool job: inactive parents fork inactive children (counters
+    /// still count and merge); active parents fork active children; a
+    /// parent with a sink forks a child with a *memory* sink at the
+    /// same sampling rate, whose lines the parent splices in at
+    /// [`Telemetry::absorb_job`] time.
+    pub fn fork_job(&self) -> Arc<Telemetry> {
+        let job = Telemetry::new();
+        if self.is_active() {
+            let sample = self
+                .sink
+                .read()
+                .expect("sink lock")
+                .as_ref()
+                .map(|s| s.sample_config());
+            match sample {
+                Some(sample) => {
+                    job.install_sink(EventSink::memory(sample));
+                }
+                None => job.activate(),
+            }
+        }
+        Arc::new(job)
+    }
+
+    /// Merges a finished [`Telemetry::fork_job`] instance back into
+    /// this one: the job's metrics are absorbed into this registry (see
+    /// [`Registry::absorb`]) and its buffered event lines are appended
+    /// to this sink. Callers absorb jobs in submission order so the
+    /// merged registry and event stream are deterministic for any
+    /// thread count.
+    pub fn absorb_job(&self, job: &Telemetry) {
+        self.registry.absorb(&job.registry.snapshot());
+        let lines = {
+            let guard = job.sink.read().expect("sink lock");
+            match guard.as_ref() {
+                Some(sink) => sink.take_lines(),
+                None => Vec::new(),
+            }
+        };
+        if !lines.is_empty() {
+            if let Some(sink) = self.sink.read().expect("sink lock").as_ref() {
+                sink.append_lines(lines);
+            }
+        }
     }
 
     /// Activates this instance from `ZR_TELEMETRY` / `ZR_JSON`: when a
@@ -301,6 +393,20 @@ impl Telemetry {
     }
 }
 
+/// RAII guard of one [`Telemetry::push_current`] override; dropping it
+/// pops the override from this thread's stack.
+#[derive(Debug)]
+#[must_use = "dropping the guard immediately uninstalls the override"]
+pub struct CurrentGuard(());
+
+impl Drop for CurrentGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| {
+            c.borrow_mut().pop();
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -383,6 +489,83 @@ mod tests {
         // no-op regardless of how many other tests already tripped it.
         warn_alias_once();
         warn_alias_once();
+    }
+
+    #[test]
+    fn current_defaults_to_global_and_nests_overrides() {
+        assert!(Arc::ptr_eq(&Telemetry::current(), Telemetry::global()));
+        let a = Arc::new(Telemetry::new());
+        let b = Arc::new(Telemetry::new());
+        {
+            let _ga = Telemetry::push_current(Arc::clone(&a));
+            assert!(Arc::ptr_eq(&Telemetry::current(), &a));
+            {
+                let _gb = Telemetry::push_current(Arc::clone(&b));
+                assert!(Arc::ptr_eq(&Telemetry::current(), &b));
+            }
+            assert!(Arc::ptr_eq(&Telemetry::current(), &a));
+        }
+        assert!(Arc::ptr_eq(&Telemetry::current(), Telemetry::global()));
+    }
+
+    #[test]
+    fn current_override_is_thread_local() {
+        let t = Arc::new(Telemetry::new());
+        let _guard = Telemetry::push_current(Arc::clone(&t));
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                // Worker threads see the global, not this thread's
+                // override — the pool installs per-job overrides.
+                assert!(Arc::ptr_eq(&Telemetry::current(), Telemetry::global()));
+            });
+        });
+        assert!(Arc::ptr_eq(&Telemetry::current(), &t));
+    }
+
+    #[test]
+    fn fork_job_mirrors_activation() {
+        let inactive = Telemetry::new();
+        assert!(!inactive.fork_job().is_active());
+
+        let active = Telemetry::new();
+        active.activate();
+        let fork = active.fork_job();
+        assert!(fork.is_active());
+        // Active-without-sink parents fork sinkless children.
+        fork.emit(|| unreachable!("fork of a sinkless parent has no sink"));
+
+        let sinked = Telemetry::new();
+        sinked.install_sink(EventSink::memory(SampleConfig { rate: 7 }));
+        let fork = sinked.fork_job();
+        let fork_sink = fork.sink.read().unwrap().clone().expect("fork sink");
+        assert_eq!(fork_sink.sample_config().rate, 7);
+    }
+
+    #[test]
+    fn absorb_job_merges_metrics_and_event_lines() {
+        let parent = Telemetry::new();
+        let parent_sink = parent.install_memory_sink();
+        parent.counter("dram.refresh.windows").add(2);
+
+        let job = parent.fork_job();
+        job.counter("dram.refresh.windows").add(3);
+        job.counter("memctrl.writes").add(7);
+        job.emit(|| Event::ReportWrite {
+            name: "job".into(),
+            path: "x".into(),
+            ok: true,
+            error: None,
+        });
+
+        parent.absorb_job(&job);
+        let snap = parent.snapshot();
+        assert_eq!(snap.counter("dram.refresh.windows"), 5);
+        assert_eq!(snap.counter("memctrl.writes"), 7);
+        let lines = parent_sink.take_lines();
+        assert_eq!(lines.len(), 1);
+        // Absorbing twice adds nothing: the job's lines were taken.
+        parent.absorb_job(&job);
+        assert!(parent_sink.take_lines().is_empty());
     }
 
     #[test]

@@ -129,6 +129,43 @@ impl Histogram {
         f64::from_bits(self.0.sum_bits.load(Ordering::Relaxed))
     }
 
+    /// Folds a snapshot of another histogram into this one.
+    ///
+    /// Counters of this merge are commutative (bucket counts, `count`
+    /// and `sum` add; `min`/`max` combine), so absorbing a set of
+    /// per-job histograms yields the same totals in any order. When the
+    /// bucket bounds match — always the case for same-named metrics,
+    /// which share their bound constants — buckets add exactly;
+    /// mismatched bounds re-bucket each source bucket at its upper
+    /// bound (the overflow bucket at the observed `max`).
+    pub fn absorb(&self, snap: &HistogramSnapshot) {
+        if snap.count == 0 {
+            return;
+        }
+        let inner = &self.0;
+        if inner.bounds == snap.bounds && inner.buckets.len() == snap.buckets.len() {
+            for (bucket, &n) in inner.buckets.iter().zip(&snap.buckets) {
+                bucket.fetch_add(n, Ordering::Relaxed);
+            }
+        } else {
+            for (i, &n) in snap.buckets.iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                let value = snap.bounds.get(i).copied().unwrap_or(snap.max);
+                let idx = inner
+                    .bounds
+                    .partition_point(|&b| b < value)
+                    .min(inner.buckets.len() - 1);
+                inner.buckets[idx].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        inner.count.fetch_add(snap.count, Ordering::Relaxed);
+        update_f64(&inner.sum_bits, |s| s + snap.sum);
+        update_f64(&inner.min_bits, |m| m.min(snap.min));
+        update_f64(&inner.max_bits, |m| m.max(snap.max));
+    }
+
     /// Serializable snapshot of the current state.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let inner = &self.0;
@@ -289,6 +326,29 @@ impl Registry {
         map.entry(name.to_string())
             .or_insert_with(|| Histogram::new(bounds))
             .clone()
+    }
+
+    /// Folds `snap` — typically the snapshot of a finished worker job's
+    /// private registry — into this registry.
+    ///
+    /// Counters add and histograms merge (see [`Histogram::absorb`]),
+    /// both commutatively, so the merged totals are independent of the
+    /// order jobs are absorbed in; gauges are last-write-wins, so
+    /// callers wanting determinism absorb jobs in submission order
+    /// (the sweep pool does). Metrics the job registered but this
+    /// registry has not seen yet are created.
+    pub fn absorb(&self, snap: &Snapshot) {
+        for (name, &value) in &snap.counters {
+            if value > 0 {
+                self.counter(name).add(value);
+            }
+        }
+        for (name, &value) in &snap.gauges {
+            self.gauge(name).set(value);
+        }
+        for (name, hist) in &snap.histograms {
+            self.histogram(name, &hist.bounds).absorb(hist);
+        }
     }
 
     /// Serializable snapshot of every registered metric.
@@ -466,5 +526,76 @@ mod tests {
         }
         assert_eq!(c.get(), 4000);
         assert_eq!(h.count(), 4000);
+    }
+
+    #[test]
+    fn registry_absorb_adds_counters_and_merges_histograms() {
+        let parent = Registry::new();
+        parent.counter("reads").add(10);
+        parent.histogram("lat", &[1.0, 2.0]).observe(0.5);
+
+        let job = Registry::new();
+        job.counter("reads").add(5);
+        job.counter("writes").add(3); // new to the parent
+        job.gauge("table_bytes").set(8192.0);
+        let jh = job.histogram("lat", &[1.0, 2.0]);
+        jh.observe(1.5);
+        jh.observe(9.0);
+
+        parent.absorb(&job.snapshot());
+        let snap = parent.snapshot();
+        assert_eq!(snap.counter("reads"), 15);
+        assert_eq!(snap.counter("writes"), 3);
+        assert_eq!(snap.gauges.get("table_bytes"), Some(&8192.0));
+        let lat = snap.histograms.get("lat").unwrap();
+        assert_eq!(lat.count, 3);
+        assert_eq!(lat.buckets, vec![1, 1, 1]);
+        assert_eq!(lat.min, 0.5);
+        assert_eq!(lat.max, 9.0);
+        assert!((lat.sum - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn absorb_is_commutative_for_counters_and_histograms() {
+        let jobs: Vec<Registry> = (0..3)
+            .map(|i| {
+                let r = Registry::new();
+                r.counter("c").add(i + 1);
+                r.histogram("h", &[10.0]).observe(i as f64);
+                r
+            })
+            .collect();
+        let forward = Registry::new();
+        for j in &jobs {
+            forward.absorb(&j.snapshot());
+        }
+        let backward = Registry::new();
+        for j in jobs.iter().rev() {
+            backward.absorb(&j.snapshot());
+        }
+        assert_eq!(forward.snapshot(), backward.snapshot());
+    }
+
+    #[test]
+    fn histogram_absorb_with_mismatched_bounds_rebuckets() {
+        let parent = Histogram::new(&[1.0, 10.0]);
+        let job = Histogram::new(&[5.0]);
+        job.observe(3.0); // finite bucket, upper bound 5.0 -> parent bucket 1
+        job.observe(50.0); // overflow bucket, re-bucketed at max -> overflow
+        parent.absorb(&job.snapshot());
+        let s = parent.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.buckets, vec![0, 1, 1]);
+        assert_eq!(s.min, 3.0);
+        assert_eq!(s.max, 50.0);
+    }
+
+    #[test]
+    fn absorbing_an_empty_histogram_is_a_no_op() {
+        let parent = Histogram::new(&[1.0]);
+        parent.observe(0.5);
+        let before = parent.snapshot();
+        parent.absorb(&Histogram::new(&[1.0]).snapshot());
+        assert_eq!(parent.snapshot(), before);
     }
 }

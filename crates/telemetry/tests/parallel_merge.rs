@@ -1,0 +1,94 @@
+//! Thread-safety and merge-determinism of the fork/absorb job protocol
+//! under real OS-thread concurrency (the contract the `zr-par` sweep
+//! pool relies on; see `docs/PARALLELISM.md`).
+
+use std::sync::Arc;
+use std::thread;
+
+use zr_telemetry::Telemetry;
+
+const WORKERS: usize = 8;
+const ITERS: u64 = 2_000;
+
+/// Forks one job context per worker, hammers counters and spans from
+/// all workers concurrently, absorbs in submission order and checks
+/// nothing was lost.
+#[test]
+fn concurrent_forked_jobs_lose_no_counts() {
+    let parent = Arc::new(Telemetry::new());
+    parent.activate(); // spans record only on active instances
+    let jobs: Vec<Arc<Telemetry>> = (0..WORKERS).map(|_| parent.fork_job()).collect();
+    thread::scope(|s| {
+        for (w, job) in jobs.iter().enumerate() {
+            let job = Arc::clone(job);
+            s.spawn(move || {
+                let _guard = Telemetry::push_current(Arc::clone(&job));
+                for k in 0..ITERS {
+                    Telemetry::current().counter("par.events").inc();
+                    Telemetry::current()
+                        .counter("par.weighted")
+                        .add(w as u64 + k);
+                    let _span = Telemetry::current().span("par.work");
+                }
+            });
+        }
+    });
+    for job in &jobs {
+        parent.absorb_job(job);
+    }
+    let snap = parent.snapshot();
+    assert_eq!(
+        snap.counters.get("par.events").copied(),
+        Some(WORKERS as u64 * ITERS)
+    );
+    let expected_weighted: u64 = (0..WORKERS as u64)
+        .map(|w| w * ITERS + (0..ITERS).sum::<u64>())
+        .sum();
+    assert_eq!(
+        snap.counters.get("par.weighted").copied(),
+        Some(expected_weighted)
+    );
+    // Span wall times vary run to run, but the occurrence count is
+    // exact: every worker's every span survives the merge.
+    let span = snap.span("par.work").expect("span histogram merged");
+    assert_eq!(span.count, WORKERS as u64 * ITERS);
+}
+
+/// The merged registry snapshot is a pure function of the per-job
+/// contributions — identical no matter how the OS interleaved the
+/// workers. Two independent parents fed the same per-job work must
+/// produce byte-identical snapshots.
+#[test]
+fn merged_snapshot_is_deterministic_across_runs() {
+    let run = || {
+        let parent = Arc::new(Telemetry::new());
+        let jobs: Vec<Arc<Telemetry>> = (0..WORKERS).map(|_| parent.fork_job()).collect();
+        thread::scope(|s| {
+            for (w, job) in jobs.iter().enumerate() {
+                let job = Arc::clone(job);
+                s.spawn(move || {
+                    job.counter("det.count").add(w as u64 + 1);
+                    job.histogram("det.hist", &[1.0, 10.0, 100.0])
+                        .observe(w as f64);
+                });
+            }
+        });
+        for job in &jobs {
+            parent.absorb_job(job);
+        }
+        parent.snapshot()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.counters, b.counters);
+    assert_eq!(a.gauges, b.gauges);
+    assert_eq!(
+        a.histograms.keys().collect::<Vec<_>>(),
+        b.histograms.keys().collect::<Vec<_>>()
+    );
+    let (ha, hb) = (&a.histograms["det.hist"], &b.histograms["det.hist"]);
+    assert_eq!(ha.count, hb.count);
+    assert_eq!(ha.buckets, hb.buckets);
+    assert_eq!(ha.sum, hb.sum);
+    assert_eq!(ha.count, WORKERS as u64);
+}

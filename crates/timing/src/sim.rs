@@ -122,7 +122,7 @@ impl MemoryTimingSim {
         let banks = (0..num_banks)
             .map(|b| BankTiming::new(b as f64 * timing.t_refi_ns / num_banks as f64))
             .collect();
-        let telemetry = Arc::clone(Telemetry::global());
+        let telemetry = Telemetry::current();
         Ok(MemoryTimingSim {
             geom,
             timing,
@@ -132,7 +132,7 @@ impl MemoryTimingSim {
             stats: TimingStats::default(),
             metrics: TimingMetrics::new(&telemetry),
             telemetry,
-            trace: Arc::clone(TraceRecorder::global()),
+            trace: TraceRecorder::current(),
         })
     }
 

@@ -55,5 +55,7 @@ pub use record::{
     MAGIC, POLICY_CHARGE_AWARE, POLICY_CONVENTIONAL, POLICY_MASK, POLICY_NAIVE_SRAM,
     RECORDS_PER_FRAME, RECORD_BYTES, SRC_CACHE, SRC_MEMCTRL, SRC_TIMING, SRC_TRANSFORM,
 };
-pub use recorder::{next_engine_id, TraceRecorder, DEFAULT_FILE_NAME, ENV_TRACE, ENV_TRACE_RING};
+pub use recorder::{
+    next_engine_id, CurrentTraceGuard, TraceRecorder, DEFAULT_FILE_NAME, ENV_TRACE, ENV_TRACE_RING,
+};
 pub use replay::{replay, Divergence, ReplayReport};

@@ -16,12 +16,18 @@
 //! - **memory** — everything buffered in memory, retrievable with
 //!   [`TraceRecorder::take_bytes`] (tests, programmatic consumers).
 
+use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::fs::File;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+
+thread_local! {
+    /// Per-thread stack of [`TraceRecorder::push_current`] overrides.
+    static CURRENT: RefCell<Vec<Arc<TraceRecorder>>> = const { RefCell::new(Vec::new()) };
+}
 
 use crate::record::{
     encode_header, TraceRecord, ENGINE_ID_LIMIT, FRAME_PREFIX_BYTES, RECORDS_PER_FRAME,
@@ -188,6 +194,48 @@ impl TraceRecorder {
         GLOBAL.get_or_init(|| Arc::new(TraceRecorder::from_env()))
     }
 
+    /// The recorder instrumented components should bind: the innermost
+    /// [`TraceRecorder::push_current`] override on this thread, or
+    /// [`TraceRecorder::global`] when none is installed.
+    ///
+    /// The parallel sweep layer gives each pool worker a private memory
+    /// recorder through this hook and splices the per-job traces into
+    /// the parent in submission order (see [`TraceRecorder::absorb_bytes`]),
+    /// so a pooled sweep's trace file is grouped by job rather than
+    /// interleaved by scheduling.
+    pub fn current() -> Arc<TraceRecorder> {
+        CURRENT
+            .with(|c| c.borrow().last().cloned())
+            .unwrap_or_else(|| Arc::clone(TraceRecorder::global()))
+    }
+
+    /// Installs `recorder` as this thread's [`TraceRecorder::current`]
+    /// until the returned guard drops. Overrides nest (innermost wins).
+    #[must_use = "dropping the guard immediately uninstalls the override"]
+    pub fn push_current(recorder: Arc<TraceRecorder>) -> CurrentTraceGuard {
+        CURRENT.with(|c| c.borrow_mut().push(recorder));
+        CurrentTraceGuard(())
+    }
+
+    /// Re-records a serialized trace — typically
+    /// [`TraceRecorder::take_bytes`] of a job's memory recorder — into
+    /// this recorder, in the order the records were captured. Does
+    /// nothing when inactive, for empty input, or (with a warning) for
+    /// bytes that do not parse as a trace.
+    pub fn absorb_bytes(&self, bytes: &[u8]) {
+        if bytes.is_empty() || !self.is_active() {
+            return;
+        }
+        match crate::reader::parse_trace(bytes) {
+            Ok(records) => {
+                for rec in records {
+                    self.record(rec);
+                }
+            }
+            Err(err) => eprintln!("zr-trace: cannot absorb job trace: {err}"),
+        }
+    }
+
     /// Builds a recorder from the environment (see [`Self::global`]).
     pub fn from_env() -> TraceRecorder {
         let Some(dest) = std::env::var_os(ENV_TRACE).filter(|v| !v.is_empty()) else {
@@ -329,6 +377,20 @@ impl Drop for TraceRecorder {
     }
 }
 
+/// RAII guard of one [`TraceRecorder::push_current`] override; dropping
+/// it pops the override from this thread's stack.
+#[derive(Debug)]
+#[must_use = "dropping the guard immediately uninstalls the override"]
+pub struct CurrentTraceGuard(());
+
+impl Drop for CurrentTraceGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| {
+            c.borrow_mut().pop();
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -400,6 +462,48 @@ mod tests {
         assert_eq!(records.last().unwrap().a, total - 1);
         assert_eq!(t.recorded(), total);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn current_defaults_to_global_and_is_thread_local() {
+        assert!(Arc::ptr_eq(
+            &TraceRecorder::current(),
+            TraceRecorder::global()
+        ));
+        let t = Arc::new(TraceRecorder::memory());
+        let _guard = TraceRecorder::push_current(Arc::clone(&t));
+        assert!(Arc::ptr_eq(&TraceRecorder::current(), &t));
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                assert!(Arc::ptr_eq(
+                    &TraceRecorder::current(),
+                    TraceRecorder::global()
+                ));
+            });
+        });
+    }
+
+    #[test]
+    fn absorb_bytes_splices_job_traces_in_order() {
+        let parent = TraceRecorder::memory();
+        parent.record(rec(100));
+        for job in 0..2u64 {
+            let worker = TraceRecorder::memory();
+            worker.record(rec(job * 10));
+            worker.record(rec(job * 10 + 1));
+            parent.absorb_bytes(&worker.take_bytes());
+        }
+        parent.absorb_bytes(&[]); // no-op
+        let records = parse_trace(&parent.take_bytes()).unwrap();
+        let order: Vec<u64> = records.iter().map(|r| r.a).collect();
+        assert_eq!(order, vec![100, 0, 1, 10, 11]);
+
+        // Inactive parents ignore absorbed traces entirely.
+        let disabled = TraceRecorder::disabled();
+        let worker = TraceRecorder::memory();
+        worker.record(rec(1));
+        disabled.absorb_bytes(&worker.take_bytes());
+        assert_eq!(disabled.recorded(), 0);
     }
 
     #[test]

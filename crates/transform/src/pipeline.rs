@@ -80,14 +80,14 @@ impl ValueTransformer {
     /// not validate.
     pub fn new(config: &SystemConfig) -> Result<Self> {
         config.validate()?;
-        let telemetry = Arc::clone(Telemetry::global());
+        let telemetry = Telemetry::current();
         Ok(ValueTransformer {
             line: config.line,
             stages: config.transform,
             dram: config.dram.clone(),
             metrics: TransformMetrics::new(&telemetry),
             telemetry,
-            trace: Arc::clone(TraceRecorder::global()),
+            trace: TraceRecorder::current(),
         })
     }
 

@@ -15,6 +15,8 @@
 //! - [`zr_timing`] — the event-driven bank-timing simulator;
 //! - [`zr_trace`] — the cycle-level command flight recorder and replay
 //!   verifier;
+//! - [`zr_par`] — the deterministic scoped-thread work pool driving the
+//!   evaluation sweeps (`ZR_THREADS`, see docs/PARALLELISM.md);
 //! - [`zr_baselines`] — Smart Refresh and the conventional baseline;
 //! - [`zr_sim`] — the experiment drivers reproducing the evaluation;
 //! - [`zr_types`] — shared configuration and geometry types.
@@ -37,6 +39,7 @@ pub use zr_baselines;
 pub use zr_dram;
 pub use zr_energy;
 pub use zr_memctrl;
+pub use zr_par;
 pub use zr_sim;
 pub use zr_timing;
 pub use zr_trace;
