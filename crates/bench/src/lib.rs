@@ -105,7 +105,9 @@ pub fn run_figure<T>(name: &str, f: impl FnOnce() -> T) -> T {
         );
     }
     if let Some((profiler, dir)) = profiler {
-        match zr_prof::export_profile(&profiler.snapshot(), &dir, name) {
+        // capture_snapshot stamps calibration + thread-count metadata so
+        // the export can be diffed across machines (`zr-prof diff`).
+        match zr_prof::export_profile(&zr_prof::capture_snapshot(profiler), &dir, name) {
             Ok(()) => eprintln!("[zr-bench] wrote {} profile to {}", name, dir.display()),
             Err(e) => eprintln!("[zr-bench] profile export failed: {e}"),
         }

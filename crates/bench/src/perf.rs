@@ -101,20 +101,30 @@ pub fn run_perf_suite(opts: &PerfOptions) -> Result<PerfReport> {
     let runs = opts.effective_runs();
     let calibration_wall_ns = calibrate_best(calibration_iters(opts.quick), 3);
     let exp = perf_experiment_config(opts.quick);
-    let slices = vec![
-        measure_slice("fig14_subset", "chip_rows", runs, || fig14_subset(&exp))?,
-        measure_slice("fig14_subset_parallel", "chip_rows", runs, || {
-            fig14_subset_parallel(&exp)
-        })?,
-        measure_slice("dram_refresh_soak", "chip_rows", runs, || {
+    let mut slices = vec![
+        measure_slice("fig14_subset", "chip_rows", runs, 1, || fig14_subset(&exp))?,
+        measure_slice(
+            "fig14_subset_parallel",
+            "chip_rows",
+            runs,
+            PARALLEL_SLICE_THREADS as u64,
+            || fig14_subset_parallel(&exp),
+        )?,
+        measure_slice("dram_refresh_soak", "chip_rows", runs, 1, || {
             dram_refresh_soak(if opts.quick { 256 } else { 1024 })
         })?,
-        measure_slice("transform_roundtrip", "lines", runs, || {
+        measure_slice("transform_roundtrip", "lines", runs, 1, || {
             transform_roundtrip(if opts.quick { 4_000 } else { 16_000 })
         })?,
     ];
+    // Slice results are self-describing (history entries and profile
+    // diffs detach them from the report): stamp each with the suite's
+    // calibration reading.
+    for slice in &mut slices {
+        slice.calibration_wall_ns = calibration_wall_ns;
+    }
     Ok(PerfReport {
-        schema: 1,
+        schema: 2,
         quick: opts.quick,
         calibration_wall_ns,
         peak_rss_bytes: clock::peak_rss_bytes(),
@@ -124,11 +134,15 @@ pub fn run_perf_suite(opts: &PerfOptions) -> Result<PerfReport> {
 
 /// Times `f` over `runs` runs inside an allocation scope and folds the
 /// measurements into a [`SliceResult`]. `f` returns the simulated work
-/// performed (identical every run by construction).
+/// performed (identical every run by construction). `threads` is the
+/// pool width the slice runs at (1 for the serial slices); peak RSS is
+/// read right after the runs — monotone across the process, so later
+/// slices bound earlier ones from above.
 fn measure_slice(
     name: &str,
     unit: &str,
     runs: usize,
+    threads: u64,
     mut f: impl FnMut() -> Result<u64>,
 ) -> Result<SliceResult> {
     let mut walls = Vec::with_capacity(runs);
@@ -144,9 +158,10 @@ fn measure_slice(
         allocs.push(delta.allocs);
         bytes.push(delta.bytes);
     }
-    Ok(SliceResult::from_runs(
-        name, walls, work_units, unit, allocs, bytes,
-    ))
+    let mut slice = SliceResult::from_runs(name, walls, work_units, unit, allocs, bytes);
+    slice.threads = threads;
+    slice.peak_rss_bytes = clock::peak_rss_bytes();
+    Ok(slice)
 }
 
 /// One pass of the Fig. 14 six-benchmark subset at 100% allocation.
@@ -265,6 +280,7 @@ mod tests {
         })
         .unwrap();
         assert!(report.quick);
+        assert_eq!(report.schema, 2);
         assert!(report.calibration_wall_ns > 0);
         for name in [
             "fig14_subset",
@@ -278,6 +294,16 @@ mod tests {
             assert!(slice.work_units > 0, "{name} did no work");
             assert!(slice.wall_ns_best > 0, "{name} took no time");
             assert!(slice.throughput_per_s > 0.0, "{name} has no throughput");
+            assert_eq!(
+                slice.calibration_wall_ns, report.calibration_wall_ns,
+                "{name} not stamped with the suite calibration"
+            );
+            let expected_threads = if name == "fig14_subset_parallel" {
+                PARALLEL_SLICE_THREADS as u64
+            } else {
+                1
+            };
+            assert_eq!(slice.threads, expected_threads, "{name} thread count");
         }
     }
 

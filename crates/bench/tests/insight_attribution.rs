@@ -1,0 +1,94 @@
+//! End-to-end attribution check for the zr-insight diff engine: a
+//! test-only span doing extra allocation between two otherwise
+//! identical fig14-subset captures must be named in the top-N
+//! regression rankings.
+//!
+//! One test in its own file: the span profiler is a process-wide
+//! observer, so captures from concurrently running tests would bleed
+//! into each other.
+
+use zr_bench::perf::{perf_experiment_config, FIG14_SUBSET};
+use zr_insight::{diff_profiles, DeltaKind};
+use zr_prof::{Profile, Profiler};
+use zr_sim::experiments::refresh;
+use zr_telemetry::Telemetry;
+
+const INJECTED_SPAN: &str = "test.injected_slowdown";
+const INJECTED_ALLOCS: u64 = 50_000;
+
+/// Subtracts an earlier snapshot of the accumulating global profiler so
+/// each capture covers only its own run.
+fn subtract(mut after: Profile, before: &Profile) -> Profile {
+    for node in &mut after.nodes {
+        if let Some(prev) = before.nodes.iter().find(|p| p.path == node.path) {
+            node.calls = node.calls.saturating_sub(prev.calls);
+            node.wall_ns = node.wall_ns.saturating_sub(prev.wall_ns);
+            node.cpu_ns = node.cpu_ns.saturating_sub(prev.cpu_ns);
+            node.allocs = node.allocs.saturating_sub(prev.allocs);
+            node.alloc_bytes = node.alloc_bytes.saturating_sub(prev.alloc_bytes);
+        }
+    }
+    after.nodes.retain(|n| n.calls > 0 || n.wall_ns > 0);
+    after
+}
+
+fn capture(inject: bool) -> Profile {
+    let profiler = Profiler::install_global();
+    let before = profiler.snapshot();
+    let exp = perf_experiment_config(true);
+    for &b in &FIG14_SUBSET {
+        refresh::measure(b, 1.0, &exp).expect("fig14 measurement");
+    }
+    if inject {
+        let _span = Telemetry::global().span(INJECTED_SPAN);
+        let mut kept = Vec::new();
+        let mut sum = 0u64;
+        for i in 0..INJECTED_ALLOCS {
+            let v = vec![(i & 0xFF) as u8; 32];
+            sum = sum.wrapping_add(v[0] as u64);
+            if i % 1024 == 0 {
+                kept.push(v);
+            }
+        }
+        std::hint::black_box((sum, kept.len()));
+    }
+    subtract(profiler.snapshot(), &before)
+}
+
+#[test]
+fn injected_slowdown_is_named_in_the_top_regressions() {
+    let clean = capture(false);
+    let slowed = capture(true);
+    assert!(!clean.is_empty(), "capture recorded no spans");
+
+    let diff = diff_profiles(&clean, &slowed);
+    let injected = diff
+        .deltas
+        .iter()
+        .find(|d| d.path == INJECTED_SPAN)
+        .expect("injected span missing from the diff");
+    assert_eq!(injected.kind, DeltaKind::Added);
+    assert!(
+        injected.allocs_delta >= INJECTED_ALLOCS as i64,
+        "injected span under-counted: {injected:?}"
+    );
+
+    // The workload between the captures is identical, so every other
+    // span's allocation delta is ~zero and the injected span must lead
+    // the allocation ranking (it also shows up in the table render).
+    let by_allocs: Vec<&str> = diff
+        .top_by_allocs(5)
+        .iter()
+        .map(|d| d.path.as_str())
+        .collect();
+    assert_eq!(
+        by_allocs.first(),
+        Some(&INJECTED_SPAN),
+        "top-by-allocs ranking: {by_allocs:?}"
+    );
+    assert!(
+        diff.table(5).contains(INJECTED_SPAN),
+        "table omits the injected span:\n{}",
+        diff.table(5)
+    );
+}

@@ -1,12 +1,17 @@
-//! The `zr-prof` CLI: render saved profiles.
+//! The `zr-prof` CLI: render and compare saved profiles.
 //!
 //! ```text
-//! zr-prof report <profile.json> [--top N]   # hot-scope table
-//! zr-prof folded <profile.json>             # collapsed stacks to stdout
+//! zr-prof report <profile.json> [--top N]                 # hot-scope table
+//! zr-prof folded <profile.json>                           # collapsed stacks to stdout
+//! zr-prof diff <old.json> <new.json> [--top N] [--json F] # span-level deltas
 //! ```
 //!
 //! Profiles are captured by the workloads themselves: `zr-bench
-//! profile`, or any figure binary run with `ZR_PROF=<dir>`.
+//! profile`, or any figure binary run with `ZR_PROF=<dir>`. `diff`
+//! scales the old capture by the calibration ratio between the two
+//! machines before subtracting (see `docs/INSIGHT.md`), prints a human
+//! table, and with `--json` also writes the machine-readable delta
+//! document.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -15,7 +20,9 @@ use zr_prof::json::Json;
 use zr_prof::Profile;
 
 fn usage() -> ExitCode {
-    eprintln!("usage:\n  zr-prof report <profile.json> [--top N]\n  zr-prof folded <profile.json>");
+    eprintln!(
+        "usage:\n  zr-prof report <profile.json> [--top N]\n  zr-prof folded <profile.json>\n  zr-prof diff <old.json> <new.json> [--top N] [--json <out.json>]"
+    );
     ExitCode::from(2)
 }
 
@@ -66,6 +73,42 @@ fn main() -> ExitCode {
             match load(path) {
                 Ok(profile) => {
                     print!("{}", profile.to_folded());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("zr-prof: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "diff" => {
+            let (Some(old_path), Some(new_path)) = (rest.first(), rest.get(1)) else {
+                return usage();
+            };
+            let mut top = 10usize;
+            let mut json_out: Option<String> = None;
+            let mut it = rest[2..].iter();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--top" => match it.next().and_then(|v| v.parse().ok()) {
+                        Some(n) => top = n,
+                        None => return usage(),
+                    },
+                    "--json" => match it.next() {
+                        Some(path) => json_out = Some(path.clone()),
+                        None => return usage(),
+                    },
+                    _ => return usage(),
+                }
+            }
+            match zr_insight::run_diff(
+                Path::new(old_path),
+                Path::new(new_path),
+                top,
+                json_out.as_deref().map(Path::new),
+            ) {
+                Ok(table) => {
+                    print!("{table}");
                     ExitCode::SUCCESS
                 }
                 Err(e) => {

@@ -1,0 +1,293 @@
+//! Golden-pair and property tests for the profile-diff engine.
+
+use proptest::prelude::*;
+use zr_insight::{calibration_scale, diff_profiles, DeltaKind, ProfileDiff, SCALE_CLAMP};
+use zr_prof::{Profile, ProfileNode};
+
+fn node(path: &str, calls: u64, wall: u64, cpu: u64, allocs: u64, bytes: u64) -> ProfileNode {
+    ProfileNode {
+        path: path.to_string(),
+        calls,
+        wall_ns: wall,
+        cpu_ns: cpu,
+        allocs,
+        alloc_bytes: bytes,
+    }
+}
+
+fn profile(nodes: Vec<ProfileNode>, calibration: u64) -> Profile {
+    let mut nodes = nodes;
+    nodes.sort_by(|a, b| a.path.cmp(&b.path));
+    Profile {
+        nodes,
+        calibration_wall_ns: calibration,
+        threads: 1,
+    }
+}
+
+#[test]
+fn identical_profiles_diff_to_nothing() {
+    let p = profile(
+        vec![
+            node("sweep", 1, 10_000, 8_000, 50, 4096),
+            node("sweep;cell", 12, 9_000, 7_000, 40, 2048),
+        ],
+        1_000_000,
+    );
+    let diff = diff_profiles(&p, &p);
+    assert!(diff.deltas.is_empty(), "{:?}", diff.deltas);
+    assert_eq!(diff.scale, 1.0);
+}
+
+#[test]
+fn added_removed_and_renamed_paths_are_classified() {
+    // "renamed" = one path removed, another added: the diff reports
+    // both, it does not guess at a mapping.
+    let old = profile(
+        vec![
+            node("sweep", 1, 10_000, 0, 10, 100),
+            node("sweep;encode_v1", 5, 6_000, 0, 6, 60),
+        ],
+        0,
+    );
+    let new = profile(
+        vec![
+            node("sweep", 1, 10_000, 0, 10, 100),
+            node("sweep;encode_v2", 5, 6_000, 0, 6, 60),
+        ],
+        0,
+    );
+    let diff = diff_profiles(&old, &new);
+    // `sweep` changed only through its self time (children moved), the
+    // totals are identical — its self-wall delta is zero both ways
+    // (6000 removed, 6000 added), so only the renamed pair survives.
+    let kinds: Vec<(&str, DeltaKind)> = diff
+        .deltas
+        .iter()
+        .map(|d| (d.path.as_str(), d.kind))
+        .collect();
+    assert_eq!(
+        kinds,
+        vec![
+            ("sweep;encode_v1", DeltaKind::Removed),
+            ("sweep;encode_v2", DeltaKind::Added),
+        ]
+    );
+}
+
+#[test]
+fn sign_conventions_positive_means_new_is_bigger() {
+    let old = profile(vec![node("work", 10, 10_000, 5_000, 100, 1_000)], 0);
+    let new = profile(vec![node("work", 12, 14_000, 6_000, 80, 1_500)], 0);
+    let diff = diff_profiles(&old, &new);
+    assert_eq!(diff.deltas.len(), 1);
+    let d = &diff.deltas[0];
+    assert_eq!(d.kind, DeltaKind::Changed);
+    assert_eq!(d.calls_delta, 2);
+    assert_eq!(d.wall_delta_ns, 4_000);
+    assert_eq!(d.self_wall_delta_ns, 4_000);
+    assert_eq!(d.cpu_delta_ns, 1_000);
+    assert_eq!(d.allocs_delta, -20, "fewer allocs in new = negative");
+    assert_eq!(d.alloc_bytes_delta, 500);
+}
+
+#[test]
+fn removed_paths_carry_negative_old_values() {
+    let old = profile(vec![node("gone", 3, 9_000, 4_000, 30, 300)], 0);
+    let new = profile(vec![], 0);
+    let diff = diff_profiles(&old, &new);
+    assert_eq!(diff.deltas.len(), 1);
+    let d = &diff.deltas[0];
+    assert_eq!(d.kind, DeltaKind::Removed);
+    assert_eq!(d.calls_delta, -3);
+    assert_eq!(d.wall_delta_ns, -9_000);
+    assert_eq!(d.allocs_delta, -30);
+}
+
+#[test]
+fn self_time_uses_direct_children() {
+    let old = profile(
+        vec![
+            node("a", 1, 10_000, 0, 0, 0),
+            node("a;b", 1, 4_000, 0, 0, 0),
+        ],
+        0,
+    );
+    let new = profile(
+        vec![
+            node("a", 1, 10_000, 0, 0, 0),
+            node("a;b", 1, 7_000, 0, 0, 0),
+        ],
+        0,
+    );
+    let diff = diff_profiles(&old, &new);
+    // `a` total is unchanged, but its self time shrank by the 3000 ns
+    // its child grew.
+    let a = diff.deltas.iter().find(|d| d.path == "a").expect("a");
+    assert_eq!(a.wall_delta_ns, 0);
+    assert_eq!(a.self_wall_delta_ns, -3_000);
+    let b = diff.deltas.iter().find(|d| d.path == "a;b").expect("a;b");
+    assert_eq!(b.self_wall_delta_ns, 3_000);
+}
+
+#[test]
+fn calibration_scales_old_wall_times() {
+    // New machine's calibration spin took 2x as long: the old capture's
+    // times are doubled before comparison, so an unchanged-cost span
+    // whose raw wall doubled diffs to zero.
+    let old = profile(vec![node("work", 1, 10_000, 5_000, 7, 70)], 1_000_000);
+    let new = profile(vec![node("work", 1, 20_000, 10_000, 7, 70)], 2_000_000);
+    let diff = diff_profiles(&old, &new);
+    assert_eq!(diff.scale, 2.0);
+    assert!(diff.deltas.is_empty(), "{:?}", diff.deltas);
+}
+
+#[test]
+fn calibration_scale_clamps_and_defaults() {
+    assert_eq!(calibration_scale(0, 5), 1.0, "unknown old -> no scaling");
+    assert_eq!(calibration_scale(5, 0), 1.0, "unknown new -> no scaling");
+    assert_eq!(calibration_scale(1_000, 100_000), SCALE_CLAMP.1);
+    assert_eq!(calibration_scale(100_000, 1_000), SCALE_CLAMP.0);
+    assert_eq!(calibration_scale(1_000, 1_500), 1.5);
+}
+
+#[test]
+fn allocs_are_never_scaled() {
+    let old = profile(vec![node("work", 1, 10_000, 0, 100, 1_000)], 1_000_000);
+    let new = profile(vec![node("work", 1, 40_000, 0, 100, 1_000)], 4_000_000);
+    let diff = diff_profiles(&old, &new);
+    assert!(
+        diff.deltas.is_empty(),
+        "alloc counts are machine-independent and walls cancel: {:?}",
+        diff.deltas
+    );
+}
+
+#[test]
+fn top_n_rankings_are_deterministic_and_positive_only() {
+    let old = profile(
+        vec![
+            node("a", 1, 1_000, 0, 10, 0),
+            node("b", 1, 1_000, 0, 10, 0),
+            node("c", 1, 9_000, 0, 90, 0),
+        ],
+        0,
+    );
+    let new = profile(
+        vec![
+            node("a", 1, 5_000, 0, 40, 0),
+            node("b", 1, 5_000, 0, 40, 0),
+            node("c", 1, 2_000, 0, 10, 0),
+        ],
+        0,
+    );
+    let diff = diff_profiles(&old, &new);
+    let by_wall: Vec<&str> = diff
+        .top_by_self_wall(10)
+        .iter()
+        .map(|d| d.path.as_str())
+        .collect();
+    // c improved (negative) so it is excluded; a/b tie on the metric
+    // and break by path.
+    assert_eq!(by_wall, vec!["a", "b"]);
+    let by_allocs: Vec<&str> = diff
+        .top_by_allocs(1)
+        .iter()
+        .map(|d| d.path.as_str())
+        .collect();
+    assert_eq!(by_allocs, vec!["a"]);
+}
+
+#[test]
+fn diff_json_is_byte_deterministic_and_round_trips() {
+    let old = profile(
+        vec![
+            node("sweep", 2, 50_000, 30_000, 500, 65_536),
+            node("sweep;refresh", 64, 40_000, 25_000, 400, 32_768),
+        ],
+        3_000_000,
+    );
+    let new = profile(
+        vec![
+            node("sweep", 2, 55_000, 33_000, 480, 65_536),
+            node("sweep;transform", 64, 41_000, 26_000, 410, 30_000),
+        ],
+        3_100_000,
+    );
+    let first = diff_profiles(&old, &new).to_json().to_pretty();
+    let second = diff_profiles(&old, &new).to_json().to_pretty();
+    assert_eq!(first, second, "identical inputs, identical bytes");
+
+    let doc = zr_prof::json::Json::parse(&first).expect("parses");
+    let back = ProfileDiff::from_json(&doc).expect("round-trips");
+    assert_eq!(back, diff_profiles(&old, &new));
+}
+
+#[test]
+fn table_names_regressions_and_metadata() {
+    let old = profile(vec![node("hot", 1, 1_000, 0, 5, 50)], 1_000_000);
+    let new = profile(vec![node("hot", 1, 90_000, 0, 500, 5_000)], 1_000_000);
+    let diff = diff_profiles(&old, &new);
+    let table = diff.table(5);
+    assert!(table.contains("hot"), "{table}");
+    assert!(table.contains("scale 1.000"), "{table}");
+    assert!(table.contains("1 changed, 0 added, 0 removed"), "{table}");
+    // Empty diff says so.
+    let empty = diff_profiles(&old, &old).table(5);
+    assert!(empty.contains("no differences"), "{empty}");
+}
+
+fn arb_profile() -> impl Strategy<Value = Profile> {
+    proptest::collection::vec(
+        (
+            proptest::sample::select(vec![
+                "sweep",
+                "sweep;cell",
+                "sweep;cell;refresh",
+                "encode",
+                "encode;line",
+            ]),
+            0u64..100,
+            0u64..1_000_000,
+            0u64..1_000_000,
+            0u64..10_000,
+            0u64..1_000_000,
+        ),
+        0..5,
+    )
+    .prop_map(|rows| {
+        let mut nodes: Vec<ProfileNode> = Vec::new();
+        for (path, calls, wall, cpu, allocs, bytes) in rows {
+            if nodes.iter().all(|n: &ProfileNode| n.path != path) {
+                nodes.push(node(path, calls, wall, cpu, allocs, bytes));
+            }
+        }
+        profile(nodes, 1_000_000)
+    })
+}
+
+proptest! {
+    #[test]
+    fn diff_of_a_profile_with_itself_is_empty(p in arb_profile()) {
+        let diff = diff_profiles(&p, &p);
+        prop_assert!(diff.deltas.is_empty());
+    }
+
+    #[test]
+    fn wall_deltas_are_antisymmetric_at_equal_calibration(
+        a in arb_profile(),
+        b in arb_profile(),
+    ) {
+        // With equal calibrations scale is 1.0 both ways, so swapping
+        // the operands negates every wall delta.
+        let fwd = diff_profiles(&a, &b);
+        let rev = diff_profiles(&b, &a);
+        prop_assert_eq!(fwd.deltas.len(), rev.deltas.len());
+        for (f, r) in fwd.deltas.iter().zip(rev.deltas.iter()) {
+            prop_assert_eq!(&f.path, &r.path);
+            prop_assert_eq!(f.wall_delta_ns, -r.wall_delta_ns);
+            prop_assert_eq!(f.self_wall_delta_ns, -r.self_wall_delta_ns);
+            prop_assert_eq!(f.allocs_delta, -r.allocs_delta);
+        }
+    }
+}

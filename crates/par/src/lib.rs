@@ -86,11 +86,43 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_jobs_observed(threads, jobs, job, |_, _, _| {})
+}
+
+/// [`run_jobs`] with a completion observer: after each job finishes,
+/// `on_done(index, completed, total)` fires with the job's index and
+/// the number of jobs completed so far (including this one, so
+/// `completed` reaches `total` exactly once, on the final job).
+///
+/// On the pool path the observer runs on worker threads and may fire
+/// concurrently; `completed` values are taken from a shared atomic and
+/// each value 1..=total is delivered exactly once, though not
+/// necessarily in ascending order across threads. The serial path
+/// calls it inline, in index order. Progress reporters hook in here —
+/// see `zr_sim::experiments::parallel`.
+///
+/// # Panics
+///
+/// A panicking job or observer panics the pool: the scope joins every
+/// worker and propagates the first panic to the caller.
+pub fn run_jobs_observed<T, F, O>(threads: usize, jobs: usize, job: F, on_done: O) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    O: Fn(usize, usize, usize) + Sync,
+{
     if threads <= 1 || jobs <= 1 {
-        return (0..jobs).map(job).collect();
+        return (0..jobs)
+            .map(|i| {
+                let value = job(i);
+                on_done(i, i + 1, jobs);
+                value
+            })
+            .collect();
     }
     let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
     let workers = threads.min(jobs);
     std::thread::scope(|s| {
         for _ in 0..workers {
@@ -101,6 +133,8 @@ where
                 }
                 let value = job(i);
                 *slots[i].lock().expect("result slot lock") = Some(value);
+                let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
+                on_done(i, completed, jobs);
             });
         }
     });
@@ -182,6 +216,39 @@ mod tests {
     fn zero_and_one_job_edge_cases() {
         assert!(run_jobs(4, 0, |i| i).is_empty());
         assert_eq!(run_jobs(4, 1, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn observer_sees_every_completion_exactly_once() {
+        for threads in [1, 2, 4] {
+            let seen = Mutex::new(Vec::new());
+            let out = run_jobs_observed(
+                threads,
+                25,
+                |i| i,
+                |index, completed, total| {
+                    assert_eq!(total, 25);
+                    seen.lock().unwrap().push((index, completed));
+                },
+            );
+            assert_eq!(out.len(), 25);
+            let mut seen = seen.into_inner().unwrap();
+            // Each job index reported once, each completed count 1..=25
+            // delivered once, and the final callback says 25/25.
+            let mut indices: Vec<usize> = seen.iter().map(|&(i, _)| i).collect();
+            indices.sort_unstable();
+            assert_eq!(indices, (0..25).collect::<Vec<_>>());
+            seen.sort_by_key(|&(_, c)| c);
+            let counts: Vec<usize> = seen.iter().map(|&(_, c)| c).collect();
+            assert_eq!(counts, (1..=25).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn serial_observer_fires_in_index_order() {
+        let seen = Mutex::new(Vec::new());
+        run_jobs_observed(1, 5, |i| i, |index, _, _| seen.lock().unwrap().push(index));
+        assert_eq!(seen.into_inner().unwrap(), vec![0, 1, 2, 3, 4]);
     }
 
     #[test]

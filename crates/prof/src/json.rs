@@ -48,6 +48,14 @@ impl Json {
         self.as_f64().filter(|n| *n >= 0.0).map(|n| n as u64)
     }
 
+    /// Integer value (any sign), if this is an integer-valued number
+    /// inside the exactly-representable range.
+    pub fn as_i64(&self) -> Option<i64> {
+        self.as_f64()
+            .filter(|n| n.fract() == 0.0 && n.abs() < 9.0e15)
+            .map(|n| n as i64)
+    }
+
     /// String value, if this is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {
@@ -389,6 +397,9 @@ mod tests {
     fn accessors() {
         let doc = Json::parse(r#"{"a": 3, "b": "x", "c": [1]}"#).unwrap();
         assert_eq!(doc.get("a").and_then(Json::as_u64), Some(3));
+        assert_eq!(Json::Num(-42.0).as_i64(), Some(-42));
+        assert_eq!(Json::Num(-42.0).as_u64(), None);
+        assert_eq!(Json::Num(0.5).as_i64(), None);
         assert_eq!(doc.get("b").and_then(Json::as_str), Some("x"));
         assert_eq!(
             doc.get("c").and_then(Json::as_arr).map(|a| a.len()),

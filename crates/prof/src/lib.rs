@@ -19,10 +19,11 @@
 //!   `zr-bench perf` runs against the checked-in baseline
 //!   (`ZR_BLESS=1` re-blesses, mirroring `zr-conform`).
 //!
-//! The `zr-prof` binary renders saved `profile.json` documents
-//! (`zr-prof report <file>`, `zr-prof folded <file>`). Capture itself
-//! lives in the workloads: `zr-bench profile`, or any figure binary
-//! run with `ZR_PROF=<dir>`.
+//! The `zr-prof` binary (hosted by the `zr-insight` crate, which also
+//! diffs profiles) renders saved `profile.json` documents
+//! (`zr-prof report <file>`, `zr-prof folded <file>`,
+//! `zr-prof diff <old> <new>`). Capture itself lives in the workloads:
+//! `zr-bench profile`, or any figure binary run with `ZR_PROF=<dir>`.
 //!
 //! See `docs/PROFILING.md` for the workflow.
 
@@ -50,6 +51,19 @@ pub fn profile_dir() -> Option<std::path::PathBuf> {
     std::env::var_os(ENV_PROF_DIR)
         .filter(|v| !v.is_empty())
         .map(std::path::PathBuf::from)
+}
+
+/// Snapshots `profiler` and stamps the capture metadata that profile
+/// diffing needs: the machine's cached quick calibration reading
+/// ([`perf::capture_calibration`]) and the resolved sweep-pool width
+/// (`ZR_THREADS`/core count via `zr-par`). Capture sites should prefer
+/// this over a raw [`Profiler::snapshot`] so saved `profile.json`
+/// files stay comparable across machines and thread counts.
+pub fn capture_snapshot(profiler: &Profiler) -> Profile {
+    let mut profile = profiler.snapshot();
+    profile.calibration_wall_ns = perf::capture_calibration();
+    profile.threads = zr_par::thread_count() as u64;
+    profile
 }
 
 /// Writes `profile` under `dir` as `<name>.folded` and

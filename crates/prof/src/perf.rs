@@ -40,6 +40,17 @@ pub struct SliceResult {
     pub allocs: u64,
     /// Bytes requested in one run (median across runs).
     pub alloc_bytes: u64,
+    /// Sweep-pool width the slice ran at (0 = unknown, schema-1 files).
+    /// The gate refuses to compare slices captured at different widths.
+    pub threads: u64,
+    /// Wall time of the calibration spin on the capture machine,
+    /// nanoseconds (0 = unknown). Recorded per slice so history entries
+    /// and diffs stay self-describing after the report splits apart.
+    pub calibration_wall_ns: u64,
+    /// Process peak RSS in bytes right after the slice's runs
+    /// (0 = unknown or off Linux). Monotone across the process, so
+    /// later slices bound earlier ones from above.
+    pub peak_rss_bytes: u64,
 }
 
 impl SliceResult {
@@ -68,6 +79,19 @@ impl SliceResult {
             throughput_per_s,
             allocs: median(allocs_runs),
             alloc_bytes: median(bytes_runs),
+            threads: 0,
+            calibration_wall_ns: 0,
+            peak_rss_bytes: 0,
+        }
+    }
+
+    /// Allocations per simulated work unit — the single number ROADMAP
+    /// item 1 drives toward zero. 0.0 when the slice did no work.
+    pub fn allocs_per_work_unit(&self) -> f64 {
+        if self.work_units == 0 {
+            0.0
+        } else {
+            self.allocs as f64 / self.work_units as f64
         }
     }
 }
@@ -124,6 +148,16 @@ impl PerfReport {
                                 ("throughput_per_s".into(), Json::Num(s.throughput_per_s)),
                                 ("allocs".into(), Json::Num(s.allocs as f64)),
                                 ("alloc_bytes".into(), Json::Num(s.alloc_bytes as f64)),
+                                (
+                                    "allocs_per_work_unit".into(),
+                                    Json::Num(s.allocs_per_work_unit()),
+                                ),
+                                ("threads".into(), Json::Num(s.threads as f64)),
+                                (
+                                    "calibration_wall_ns".into(),
+                                    Json::Num(s.calibration_wall_ns as f64),
+                                ),
+                                ("peak_rss_bytes".into(), Json::Num(s.peak_rss_bytes as f64)),
                             ])
                         })
                         .collect(),
@@ -178,6 +212,13 @@ impl PerfReport {
                     .unwrap_or(0.0),
                 allocs: sfield("allocs")?,
                 alloc_bytes: sfield("alloc_bytes")?,
+                // Absent in schema-1 documents; 0 means "unknown".
+                threads: s.get("threads").and_then(Json::as_u64).unwrap_or(0),
+                calibration_wall_ns: s
+                    .get("calibration_wall_ns")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
+                peak_rss_bytes: s.get("peak_rss_bytes").and_then(Json::as_u64).unwrap_or(0),
             });
         }
         Ok(PerfReport {
@@ -261,6 +302,16 @@ pub fn calibrate_best(iters: u64, reps: u32) -> u64 {
         .map(|_| calibrate(iters))
         .min()
         .unwrap_or(0)
+}
+
+/// The process-wide calibration reading used to stamp profile captures
+/// ([`crate::capture_snapshot`]): a quick best-of-2 spin, measured once
+/// per process and cached. Cheap enough (~10 ms) that capture sites can
+/// call it unconditionally; cached so repeated captures in one run
+/// carry the same factor.
+pub fn capture_calibration() -> u64 {
+    static CACHED: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    *CACHED.get_or_init(|| calibrate_best(calibration_iters(true), 2))
 }
 
 /// Relative tolerances of the regression gate.
@@ -371,6 +422,17 @@ pub fn gate(
             problems.push(format!("slice `{}` missing from current run", base.name));
             continue;
         };
+        // A 1-thread capture and a 4-thread capture of the same slice
+        // measure different things; never compare them silently. Zero
+        // means "unknown" (schema-1 baselines) and stays comparable.
+        if base.threads > 0 && cur.threads > 0 && base.threads != cur.threads {
+            problems.push(format!(
+                "slice `{}`: baseline captured at {} thread(s), current run at {}; \
+                 re-run with matching ZR_THREADS or re-bless",
+                base.name, base.threads, cur.threads
+            ));
+            continue;
+        }
         let wall_limit = base.wall_ns_best as f64 * scale * (1.0 + tol.wall_rel);
         let ratio = if base.wall_ns_best == 0 {
             1.0
@@ -539,6 +601,73 @@ mod tests {
             gate(Some(&base), &quick, &Tolerance::default(), false),
             GateOutcome::Fail { .. }
         ));
+    }
+
+    #[test]
+    fn slice_metadata_round_trips_and_defaults_to_zero() {
+        let mut s = slice("a", 1_000_000, 42);
+        s.threads = 4;
+        s.calibration_wall_ns = 9_000_000;
+        s.peak_rss_bytes = 2 << 20;
+        let r = report(5_000_000, vec![s]);
+        let back = PerfReport::from_json(&Json::parse(&r.to_json().to_pretty()).unwrap()).unwrap();
+        assert_eq!(back, r);
+        // Schema-1 slices (no metadata keys) parse with zeros.
+        let doc = Json::parse(
+            r#"{"schema": 1, "calibration_wall_ns": 1, "peak_rss_bytes": 1,
+                "slices": [{"name": "a", "wall_ns_best": 1, "work_units": 1,
+                            "allocs": 0, "alloc_bytes": 0}]}"#,
+        )
+        .unwrap();
+        let old = PerfReport::from_json(&doc).unwrap();
+        assert_eq!(old.slices[0].threads, 0);
+        assert_eq!(old.slices[0].calibration_wall_ns, 0);
+        assert_eq!(old.slices[0].peak_rss_bytes, 0);
+    }
+
+    #[test]
+    fn allocs_per_work_unit_is_derived() {
+        let s = slice("a", 1_000_000, 500);
+        assert!((s.allocs_per_work_unit() - 0.5).abs() < 1e-12);
+        let mut idle = s.clone();
+        idle.work_units = 0;
+        assert_eq!(idle.allocs_per_work_unit(), 0.0);
+        // The derived value is emitted in the JSON document.
+        let text = report(1, vec![s]).to_json().to_pretty();
+        assert!(text.contains("allocs_per_work_unit"));
+    }
+
+    #[test]
+    fn gate_refuses_thread_count_mismatch() {
+        let mut base_slice = slice("a", 2_000_000, 100);
+        base_slice.threads = 1;
+        let mut cur_slice = base_slice.clone();
+        cur_slice.threads = 4;
+        let base = report(1_000_000, vec![base_slice.clone()]);
+        let cur = report(1_000_000, vec![cur_slice]);
+        match gate(Some(&base), &cur, &Tolerance::default(), false) {
+            GateOutcome::Fail { problems } => {
+                assert!(problems[0].contains("1 thread(s)"), "{problems:?}");
+                assert!(problems[0].contains("at 4"), "{problems:?}");
+            }
+            other => panic!("expected fail: {other:?}"),
+        }
+        // Unknown (0) on either side stays comparable: schema-1 files.
+        let mut unknown = base_slice;
+        unknown.threads = 0;
+        let old = report(1_000_000, vec![unknown]);
+        assert!(matches!(
+            gate(Some(&old), &cur, &Tolerance::default(), false),
+            GateOutcome::Pass { .. }
+        ));
+    }
+
+    #[test]
+    fn capture_calibration_is_cached_and_nonzero() {
+        let a = capture_calibration();
+        let b = capture_calibration();
+        assert!(a > 0);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -92,10 +92,14 @@ impl Profiler {
         accum.alloc_bytes += alloc_bytes;
     }
 
-    /// Point-in-time snapshot of everything accumulated so far.
+    /// Point-in-time snapshot of everything accumulated so far. The
+    /// capture metadata fields are left at zero; see
+    /// [`crate::capture_snapshot`] for a snapshot with them filled.
     pub fn snapshot(&self) -> Profile {
         let nodes = self.nodes.lock().expect("profiler lock");
         Profile {
+            calibration_wall_ns: 0,
+            threads: 0,
             nodes: nodes
                 .iter()
                 .map(|(path, a)| ProfileNode {
@@ -190,10 +194,21 @@ impl ProfileNode {
 }
 
 /// An immutable profile snapshot, nodes sorted by path.
+///
+/// Capture metadata (`calibration_wall_ns`, `threads`) is zero on bare
+/// [`Profiler::snapshot`] output and on schema-1 `profile.json` files;
+/// the capture paths (`zr-bench profile`, `ZR_PROF` figure runs) fill
+/// it via [`crate::capture_snapshot`] so two captures from different
+/// machines can be compared on a calibration-scaled basis.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Profile {
     /// Every observed stack path, ascending by path string.
     pub nodes: Vec<ProfileNode>,
+    /// Wall time of the capture machine's calibration spin in
+    /// nanoseconds (0 = unknown; schema-1 files and raw snapshots).
+    pub calibration_wall_ns: u64,
+    /// Sweep-pool width the capture ran at (0 = unknown).
+    pub threads: u64,
 }
 
 impl Profile {
@@ -278,10 +293,16 @@ impl Profile {
         out
     }
 
-    /// Serializes to the `profile.json` document.
+    /// Serializes to the `profile.json` document (schema 2: schema 1
+    /// plus the capture metadata fields).
     pub fn to_json(&self) -> Json {
         Json::Obj(vec![
-            ("schema".into(), Json::Num(1.0)),
+            ("schema".into(), Json::Num(2.0)),
+            (
+                "calibration_wall_ns".into(),
+                Json::Num(self.calibration_wall_ns as f64),
+            ),
+            ("threads".into(), Json::Num(self.threads as f64)),
             (
                 "nodes".into(),
                 Json::Arr(
@@ -304,11 +325,15 @@ impl Profile {
     }
 
     /// Parses a `profile.json` document produced by [`Profile::to_json`].
+    /// Schema-1 documents (no capture metadata) parse with the metadata
+    /// fields at zero.
     ///
     /// # Errors
     ///
     /// Returns a message naming the missing or mistyped field.
     pub fn from_json(doc: &Json) -> Result<Profile, String> {
+        let meta = |k: &str| doc.get(k).and_then(Json::as_u64).unwrap_or(0);
+        let (calibration_wall_ns, threads) = (meta("calibration_wall_ns"), meta("threads"));
         let nodes = doc
             .get("nodes")
             .and_then(Json::as_arr)
@@ -334,7 +359,11 @@ impl Profile {
             });
         }
         out.sort_by(|a, b| a.path.cmp(&b.path));
-        Ok(Profile { nodes: out })
+        Ok(Profile {
+            nodes: out,
+            calibration_wall_ns,
+            threads,
+        })
     }
 }
 
@@ -424,6 +453,20 @@ mod tests {
         assert_eq!(lines.len(), 3); // header + top 2
         assert!(lines[1].starts_with("memctrl.write;transform.encode"));
         assert!(lines[2].starts_with("refresh.window"));
+    }
+
+    #[test]
+    fn capture_metadata_round_trips_and_defaults_to_zero() {
+        let mut profile = synthetic().snapshot();
+        profile.calibration_wall_ns = 3_500_000;
+        profile.threads = 4;
+        let back =
+            Profile::from_json(&Json::parse(&profile.to_json().to_pretty()).unwrap()).unwrap();
+        assert_eq!(back, profile);
+        // Schema-1 documents (no metadata keys) parse with zeros.
+        let p = Profile::from_json(&Json::parse(r#"{"nodes": []}"#).unwrap()).unwrap();
+        assert_eq!(p.calibration_wall_ns, 0);
+        assert_eq!(p.threads, 0);
     }
 
     #[test]

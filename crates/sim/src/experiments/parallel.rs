@@ -27,11 +27,139 @@
 //! pool, no forked contexts — so `ZR_THREADS=1` reproduces the
 //! pre-parallelism behaviour bit for bit, event stream included.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
-use zr_telemetry::Telemetry;
+use zr_telemetry::{Event, Snapshot, Telemetry};
 use zr_trace::TraceRecorder;
 use zr_types::Result;
+
+/// Environment variable enabling the live sweep progress reporter
+/// (`ZR_PROGRESS=1`): a throttled single-line status on stderr plus
+/// `sweep_progress` telemetry events. Progress never touches stdout,
+/// figure JSON or metric snapshots, so enabling it keeps every figure
+/// artifact byte-identical.
+pub const ENV_PROGRESS: &str = "ZR_PROGRESS";
+
+/// Whether the progress reporter is enabled (`ZR_PROGRESS=1`).
+pub fn progress_enabled() -> bool {
+    std::env::var(ENV_PROGRESS)
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// Minimum gap between two progress reports (the final one excepted).
+const PROGRESS_THROTTLE_US: u64 = 200_000;
+
+/// Chip-row work units in a registry snapshot: rows refreshed plus rows
+/// skipped. Read from [`Snapshot`] (never via `registry().counter()`,
+/// which would *register* the counters and perturb snapshot output).
+fn snapshot_chip_rows(snap: &Snapshot) -> u64 {
+    snap.counter("dram.refresh.rows_refreshed") + snap.counter("dram.refresh.rows_skipped")
+}
+
+/// Renders one progress status line (without the trailing newline).
+/// Pure so tests can pin the format.
+pub(crate) fn render_progress(
+    label: &str,
+    done: u64,
+    total: u64,
+    chip_rows: u64,
+    elapsed_us: u64,
+) -> String {
+    let pct = if total == 0 {
+        100.0
+    } else {
+        done as f64 * 100.0 / total as f64
+    };
+    let secs = elapsed_us as f64 / 1e6;
+    let rate = if secs > 0.0 {
+        chip_rows as f64 / secs
+    } else {
+        0.0
+    };
+    let eta_s = if done == 0 || done >= total {
+        0.0
+    } else {
+        secs / done as f64 * (total - done) as f64
+    };
+    format!(
+        "[zr-progress] {label}: {done}/{total} cells ({pct:.0}%), {rate:.0} chip_rows/s, ETA {eta_s:.0}s"
+    )
+}
+
+/// The `ZR_PROGRESS=1` reporter: fed per-cell completion callbacks from
+/// the pool (or the serial loop), accumulates chip-row work units, and
+/// reports at most once per [`PROGRESS_THROTTLE_US`] — always including
+/// a final `total/total` report. Reports go to stderr (one `write_all`
+/// per line, so concurrent writers cannot shear a line) and, when an
+/// event sink is installed, to the parent telemetry as
+/// [`Event::SweepProgress`].
+struct SweepProgress {
+    label: String,
+    total: u64,
+    chip_rows: AtomicU64,
+    started: Instant,
+    /// Elapsed micros at the last report (throttle state).
+    last_report_us: AtomicU64,
+    telemetry: Arc<Telemetry>,
+}
+
+impl SweepProgress {
+    fn new(total: usize, telemetry: Arc<Telemetry>) -> SweepProgress {
+        SweepProgress {
+            label: Telemetry::current_scope_path().unwrap_or_else(|| "sweep".to_string()),
+            total: total as u64,
+            chip_rows: AtomicU64::new(0),
+            started: Instant::now(),
+            last_report_us: AtomicU64::new(0),
+            telemetry,
+        }
+    }
+
+    /// Adds a completed cell's chip-row work units.
+    fn add_units(&self, units: u64) {
+        self.chip_rows.fetch_add(units, Ordering::Relaxed);
+    }
+
+    /// Records that `done` cells have completed and reports if due. The
+    /// final cell (`done == total`) always reports, so the last line a
+    /// consumer sees reads `total/total`.
+    fn cell_done(&self, done: u64) {
+        let now_us = self.started.elapsed().as_micros() as u64;
+        let is_final = done >= self.total;
+        let last = self.last_report_us.load(Ordering::Relaxed);
+        if !is_final {
+            if now_us.saturating_sub(last) < PROGRESS_THROTTLE_US {
+                return;
+            }
+            // One reporter per throttle window: the CAS loser skips.
+            if self
+                .last_report_us
+                .compare_exchange(last, now_us, Ordering::Relaxed, Ordering::Relaxed)
+                .is_err()
+            {
+                return;
+            }
+        } else {
+            self.last_report_us.store(now_us, Ordering::Relaxed);
+        }
+        let chip_rows = self.chip_rows.load(Ordering::Relaxed);
+        let line = render_progress(&self.label, done, self.total, chip_rows, now_us);
+        {
+            use std::io::Write;
+            let mut err = std::io::stderr().lock();
+            let _ = err.write_all(format!("{line}\n").as_bytes());
+        }
+        self.telemetry.emit(|| Event::SweepProgress {
+            done,
+            total: self.total,
+            chip_rows,
+            elapsed_us: now_us,
+        });
+    }
+}
 
 /// Runs `jobs` instances of `f` on a deterministic work pool of
 /// `threads` workers and returns the results in submission order.
@@ -51,34 +179,67 @@ where
     T: Send,
     F: Fn(usize) -> Result<T> + Sync,
 {
+    let progress =
+        (progress_enabled() && jobs > 0).then(|| SweepProgress::new(jobs, Telemetry::current()));
+
     if threads <= 1 || jobs <= 1 {
-        return (0..jobs).map(f).collect();
+        let Some(progress) = progress else {
+            return (0..jobs).map(f).collect();
+        };
+        // Serial cells mutate the parent registry directly, so per-cell
+        // work units are snapshot deltas against the pre-sweep reading.
+        let telemetry = Telemetry::current();
+        let mut seen = snapshot_chip_rows(&telemetry.snapshot());
+        return (0..jobs)
+            .map(|i| {
+                let out = f(i);
+                let now = snapshot_chip_rows(&telemetry.snapshot());
+                progress.add_units(now.saturating_sub(seen));
+                seen = now;
+                progress.cell_done(i as u64 + 1);
+                out
+            })
+            .collect();
     }
 
     let parent_telemetry = Telemetry::current();
     let parent_trace = TraceRecorder::current();
     let parent_scope = Telemetry::current_scope_path();
 
-    let outcomes = zr_par::run_jobs(threads, jobs, |i| {
-        let job_telemetry = parent_telemetry.fork_job();
-        let job_trace = if parent_trace.is_active() {
-            Some(Arc::new(TraceRecorder::memory()))
-        } else {
-            None
-        };
+    let outcomes = zr_par::run_jobs_observed(
+        threads,
+        jobs,
+        |i| {
+            let job_telemetry = parent_telemetry.fork_job();
+            let job_trace = if parent_trace.is_active() {
+                Some(Arc::new(TraceRecorder::memory()))
+            } else {
+                None
+            };
 
-        let _tel_guard = Telemetry::push_current(Arc::clone(&job_telemetry));
-        let _trace_guard = job_trace
-            .as_ref()
-            .map(|t| TraceRecorder::push_current(Arc::clone(t)));
-        // Re-root the worker's (empty) span stack under the submitting
-        // thread's scope so per-job events keep the figure-level prefix
-        // a serial run would give them.
-        let _scope_guard = parent_scope.as_deref().map(|p| job_telemetry.scope(p));
+            let _tel_guard = Telemetry::push_current(Arc::clone(&job_telemetry));
+            let _trace_guard = job_trace
+                .as_ref()
+                .map(|t| TraceRecorder::push_current(Arc::clone(t)));
+            // Re-root the worker's (empty) span stack under the submitting
+            // thread's scope so per-job events keep the figure-level prefix
+            // a serial run would give them.
+            let _scope_guard = parent_scope.as_deref().map(|p| job_telemetry.scope(p));
 
-        let out = f(i);
-        (out, job_telemetry, job_trace)
-    });
+            let out = f(i);
+            if let Some(progress) = &progress {
+                // The forked instance started from zero counters, so its
+                // snapshot is exactly this cell's contribution.
+                progress.add_units(snapshot_chip_rows(&job_telemetry.snapshot()));
+            }
+            (out, job_telemetry, job_trace)
+        },
+        |_, completed, _| {
+            if let Some(progress) = &progress {
+                progress.cell_done(completed as u64);
+            }
+        },
+    );
 
     let mut results = Vec::with_capacity(jobs);
     let mut first_err = None;
@@ -139,6 +300,54 @@ mod tests {
         })
         .unwrap_err();
         assert!(err.to_string().contains("job 2"), "got: {err}");
+    }
+
+    #[test]
+    fn progress_line_format_is_stable() {
+        assert_eq!(
+            render_progress("fig14", 3, 12, 9_000, 1_000_000),
+            "[zr-progress] fig14: 3/12 cells (25%), 9000 chip_rows/s, ETA 3s"
+        );
+        // Final report: 100%, no ETA left.
+        assert_eq!(
+            render_progress("fig14", 12, 12, 9_000, 2_000_000),
+            "[zr-progress] fig14: 12/12 cells (100%), 4500 chip_rows/s, ETA 0s"
+        );
+        // Degenerate inputs stay finite.
+        assert_eq!(
+            render_progress("s", 0, 0, 0, 0),
+            "[zr-progress] s: 0/0 cells (100%), 0 chip_rows/s, ETA 0s"
+        );
+    }
+
+    #[test]
+    fn progress_reporter_counts_units_and_always_reports_final() {
+        let telemetry = Arc::new(Telemetry::new());
+        let progress = SweepProgress::new(4, Arc::clone(&telemetry));
+        for done in 1..=4u64 {
+            progress.add_units(100);
+            progress.cell_done(done);
+        }
+        assert_eq!(progress.chip_rows.load(Ordering::Relaxed), 400);
+        // The final cell reported despite the throttle window.
+        assert!(progress.last_report_us.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn snapshot_chip_rows_reads_without_registering() {
+        let telemetry = Telemetry::new();
+        assert_eq!(snapshot_chip_rows(&telemetry.snapshot()), 0);
+        // Reading must not have registered the counters.
+        assert!(telemetry.snapshot().counters.is_empty());
+        telemetry
+            .registry()
+            .counter("dram.refresh.rows_refreshed")
+            .add(7);
+        telemetry
+            .registry()
+            .counter("dram.refresh.rows_skipped")
+            .add(5);
+        assert_eq!(snapshot_chip_rows(&telemetry.snapshot()), 12);
     }
 
     #[test]

@@ -97,6 +97,19 @@ pub enum Event {
         /// Measured retention windows.
         windows: u64,
     },
+    /// Periodic progress of a parallel sweep (`ZR_PROGRESS=1`), emitted
+    /// by `zr_sim::experiments::parallel` at the same throttled cadence
+    /// as its stderr status line.
+    SweepProgress {
+        /// Sweep cells completed so far.
+        done: u64,
+        /// Total sweep cells.
+        total: u64,
+        /// Chip-row work units completed so far (refreshed + skipped).
+        chip_rows: u64,
+        /// Microseconds since the sweep started.
+        elapsed_us: u64,
+    },
     /// A figure/report JSON artifact write attempt from `zr-bench`.
     ReportWrite {
         /// Report name.

@@ -17,6 +17,8 @@
 //!   verifier;
 //! - [`zr_par`] — the deterministic scoped-thread work pool driving the
 //!   evaluation sweeps (`ZR_THREADS`, see docs/PARALLELISM.md);
+//! - [`zr_insight`] — span-level profile differencing and perf-baseline
+//!   history over `zr-prof` captures (see docs/INSIGHT.md);
 //! - [`zr_baselines`] — Smart Refresh and the conventional baseline;
 //! - [`zr_sim`] — the experiment drivers reproducing the evaluation;
 //! - [`zr_types`] — shared configuration and geometry types.
@@ -38,6 +40,7 @@ pub use zero_refresh;
 pub use zr_baselines;
 pub use zr_dram;
 pub use zr_energy;
+pub use zr_insight;
 pub use zr_memctrl;
 pub use zr_par;
 pub use zr_sim;
