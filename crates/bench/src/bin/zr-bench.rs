@@ -348,6 +348,20 @@ fn cmd_profile(rest: &[String]) -> ExitCode {
         eprintln!("[zr-bench] {e}");
         return ExitCode::FAILURE;
     }
+    let xray = zr_xray::XrayRecorder::current();
+    if xray.is_active() {
+        let xray_dir = zr_xray::export_dir().unwrap_or_else(|| dir.clone());
+        match zr_xray::export_capture(&xray, &xray_dir) {
+            Ok(()) => eprintln!(
+                "[zr-bench] wrote xray capture to {}",
+                xray_dir.join(zr_xray::JSON_FILE_NAME).display()
+            ),
+            Err(e) => {
+                eprintln!("[zr-bench] xray export failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     eprintln!(
         "[zr-bench] wrote {} and {}",
         dir.join("fig14_subset.folded").display(),

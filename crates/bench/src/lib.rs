@@ -62,7 +62,11 @@ pub fn experiment_config() -> ExperimentConfig {
 /// `<name>_profile.json` — the profiler is a process-wide span observer
 /// with per-thread span stacks, so sweep-pool workers (`ZR_THREADS`,
 /// see `docs/PARALLELISM.md`) accumulate into one merged profile rather
-/// than interleaving.
+/// than interleaving. When `ZR_XRAY` is enabled, the charge-domain
+/// capture is exported after the run as `xray.json` + `xray.csv` — to
+/// the directory `ZR_XRAY` names (any value other than `0`/`1`), else
+/// the telemetry output directory, else `xray-out/` (see
+/// `docs/XRAY.md`).
 ///
 /// On completion a one-line wall-time and throughput summary (chip-row
 /// refresh decisions and cacheline accesses per second, plus the sweep
@@ -103,6 +107,22 @@ pub fn run_figure<T>(name: &str, f: impl FnOnce() -> T) -> T {
             "[zr-bench] finalized flight-recorder trace ({} records)",
             trace.recorded()
         );
+    }
+    let xray = zr_xray::XrayRecorder::current();
+    if xray.is_active() {
+        // Everything here goes to stderr: with ZR_XRAY off, stdout must
+        // stay byte-identical, and with it on nothing may leak into the
+        // figure rows either.
+        let dir = zr_xray::export_dir()
+            .or_else(zr_telemetry::output_dir)
+            .unwrap_or_else(|| std::path::PathBuf::from("xray-out"));
+        match zr_xray::export_capture(&xray, &dir) {
+            Ok(()) => eprintln!(
+                "[zr-bench] wrote xray capture to {}",
+                dir.join(zr_xray::JSON_FILE_NAME).display()
+            ),
+            Err(e) => eprintln!("[zr-bench] xray export failed: {e}"),
+        }
     }
     if let Some((profiler, dir)) = profiler {
         // capture_snapshot stamps calibration + thread-count metadata so

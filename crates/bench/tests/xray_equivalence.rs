@@ -1,0 +1,61 @@
+//! Thread-count equivalence of the charge-domain xray capture.
+//!
+//! Hermetic version of the CI `xray-smoke` job: runs the fig14 sweep
+//! under a private recorder at one and four pool workers and asserts
+//! the serialized capture — the exact bytes `xray.json` / `xray.csv`
+//! would hold — is identical. This is the capture-side half of the
+//! determinism contract in `crates/sim/src/experiments/parallel.rs`:
+//! workers record into forked recorders that are absorbed back in
+//! submission order, so `ZR_THREADS` must never change a captured byte.
+
+use std::sync::Arc;
+
+use zr_bench::figures;
+use zr_sim::experiments::ExperimentConfig;
+use zr_workloads::Benchmark;
+use zr_xray::report::attribution_exact;
+use zr_xray::{XrayRecorder, XraySnapshot};
+
+/// Fast representative slice: a friendly scientific workload, a hostile
+/// pointer-chaser and a database scan.
+const SUBSET: [Benchmark; 3] = [Benchmark::GemsFdtd, Benchmark::Mcf, Benchmark::TpchQ6];
+
+fn capture_at(threads: usize) -> XraySnapshot {
+    let xray = Arc::new(XrayRecorder::memory_with_cap(64));
+    let _guard = XrayRecorder::push_current(Arc::clone(&xray));
+    let exp = ExperimentConfig {
+        capacity_bytes: 4 << 20,
+        windows: 2,
+        threads: Some(threads),
+        ..ExperimentConfig::default()
+    };
+    figures::fig14_refresh_reduction_for(&SUBSET, &exp).expect("fig14 subset");
+    xray.snapshot()
+}
+
+#[test]
+fn capture_is_byte_identical_across_thread_counts() {
+    let serial = capture_at(1);
+    let pooled = capture_at(4);
+    assert_eq!(serial, pooled, "xray capture diverged under the pool");
+    assert_eq!(
+        serial.to_json().to_pretty(),
+        pooled.to_json().to_pretty(),
+        "xray.json bytes must be thread-count invariant"
+    );
+    assert_eq!(
+        serial.to_csv(),
+        pooled.to_csv(),
+        "xray.csv bytes must be thread-count invariant"
+    );
+    // The capture is real, not vacuously equal: engines were announced
+    // in sweep submission order and the stage attribution telescopes.
+    assert!(!serial.engines.is_empty());
+    assert!(!serial.stages.is_empty());
+    assert!(attribution_exact(&serial));
+    let (refreshed, skipped) = serial.engines.iter().fold((0u64, 0u64), |(r, s), e| {
+        let (er, es) = e.totals();
+        (r + er, s + es)
+    });
+    assert!(refreshed > 0 && skipped > 0);
+}

@@ -95,6 +95,13 @@ impl ZeroRefreshSystem {
         self.controller.set_telemetry(telemetry);
     }
 
+    /// Routes this system's charge-domain xray capture to `xray` instead
+    /// of the process-wide recorder (hermetic tests, side-by-side
+    /// comparisons). Cascades to the refresh engine and transformer.
+    pub fn set_xray(&mut self, xray: std::sync::Arc<zr_xray::XrayRecorder>) {
+        self.controller.set_xray(xray);
+    }
+
     /// Read/write traffic counters.
     pub fn access_stats(&self) -> AccessStats {
         self.controller.stats()

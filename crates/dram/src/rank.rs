@@ -197,18 +197,24 @@ impl DramRank {
     /// Counts discharged chip-rows across the whole rank, the quantity the
     /// refresh experiments normalize by.
     pub fn count_discharged_chip_rows(&self) -> u64 {
+        (0..self.geom.num_banks())
+            .map(|bank| self.count_discharged_chip_rows_in_bank(BankId(bank)))
+            .sum()
+    }
+
+    /// Counts discharged chip-rows in one bank (across all chips) — the
+    /// per-bank end-of-window state the xray capture records.
+    pub fn count_discharged_chip_rows_in_bank(&self, bank: BankId) -> u64 {
         let rows = self.geom.rows_per_bank();
         let mut discharged = 0u64;
-        for bank in 0..self.geom.num_banks() {
-            for chip in 0..self.geom.num_chips() {
-                let written = &self.chips[chip].banks[bank];
-                // Absent rows are discharged by construction.
-                discharged += rows - written.len() as u64;
-                for (&row, store) in written {
-                    let pattern = self.cell_type(RowIndex(row)).discharged_byte();
-                    if store.iter().all(|&b| b == pattern) {
-                        discharged += 1;
-                    }
+        for chip in 0..self.geom.num_chips() {
+            let written = &self.chips[chip].banks[bank.0];
+            // Absent rows are discharged by construction.
+            discharged += rows - written.len() as u64;
+            for (&row, store) in written {
+                let pattern = self.cell_type(RowIndex(row)).discharged_byte();
+                if store.iter().all(|&b| b == pattern) {
+                    discharged += 1;
                 }
             }
         }
@@ -375,5 +381,25 @@ mod tests {
         // Every chip got one non-discharged byte segment... all 8 chips
         // now have a charged row 0.
         assert_eq!(r.count_discharged_chip_rows(), total - 8);
+    }
+
+    #[test]
+    fn per_bank_discharged_counts_sum_to_rank_total() {
+        let mut r = rank();
+        let g = r.geometry().clone();
+        let line = vec![0x01u8; 64];
+        r.write_encoded_line(BankId(0), RowIndex(0), 0, &line)
+            .unwrap();
+        r.write_encoded_line(BankId(1), RowIndex(3), 1, &line)
+            .unwrap();
+        let per_bank: Vec<u64> = (0..g.num_banks())
+            .map(|b| r.count_discharged_chip_rows_in_bank(BankId(b)))
+            .collect();
+        assert_eq!(per_bank.iter().sum::<u64>(), r.count_discharged_chip_rows());
+        // Each written bank lost one chip-row per chip.
+        let full_bank = g.rows_per_bank() * g.num_chips() as u64;
+        assert!(per_bank
+            .iter()
+            .all(|&d| d == full_bank - g.num_chips() as u64));
     }
 }

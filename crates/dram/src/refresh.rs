@@ -24,6 +24,7 @@ use zr_trace::{
 };
 use zr_types::geometry::{BankId, ChipId, RowIndex};
 use zr_types::{Geometry, Result, SystemConfig};
+use zr_xray::XrayRecorder;
 
 /// Refresh management policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -191,6 +192,10 @@ pub struct RefreshEngine {
     telemetry: Arc<Telemetry>,
     metrics: RefreshMetrics,
     trace: Arc<TraceRecorder>,
+    xray: Arc<XrayRecorder>,
+    /// This engine's index in the xray recorder (0 when the capture is
+    /// off; the hooks are no-ops then, so the placeholder never binds).
+    xray_engine: u32,
     /// Flight-recorder source id; all this engine's records carry it
     /// (clones share the id).
     engine_id: u8,
@@ -231,7 +236,7 @@ impl RefreshEngine {
             _ => None,
         };
         let telemetry = Telemetry::current();
-        let engine = RefreshEngine {
+        let mut engine = RefreshEngine {
             access: AccessBitTable::new(&geom),
             status: DischargedStatusTable::new(&geom),
             naive,
@@ -242,12 +247,15 @@ impl RefreshEngine {
             metrics: RefreshMetrics::new(&telemetry),
             telemetry,
             trace: TraceRecorder::current(),
+            xray: XrayRecorder::current(),
+            xray_engine: 0,
             engine_id: zr_trace::next_engine_id(),
             window_index: 0,
             stagger_skew: 0,
         };
         engine.export_table_sizes();
         engine.announce_trace();
+        engine.xray_engine = engine.announce_xray();
         Ok(engine)
     }
 
@@ -270,6 +278,34 @@ impl RefreshEngine {
     /// The flight-recorder source id of this engine's records.
     pub fn trace_engine_id(&self) -> u8 {
         self.engine_id
+    }
+
+    /// Routes this engine's charge-domain capture to `xray` instead of
+    /// the process-wide recorder (hermetic tests, pool workers),
+    /// re-announcing the engine there.
+    pub fn set_xray(&mut self, xray: Arc<XrayRecorder>) {
+        self.xray = xray;
+        self.xray_engine = self.announce_xray();
+    }
+
+    /// Registers this engine with its xray recorder and returns the
+    /// per-recorder engine index. The label is the telemetry scope path
+    /// at construction (e.g. `fig14_refresh_reduction/mcf`), which both
+    /// the serial and the pooled sweep paths establish before building
+    /// the system — engine indices are per-recorder (pool workers start
+    /// at 0 and renumber on absorb), so captures stay byte-identical at
+    /// any thread count.
+    fn announce_xray(&self) -> u32 {
+        if !self.xray.is_active() {
+            return 0;
+        }
+        let label = Telemetry::current_scope_path().unwrap_or_else(|| "engine".to_string());
+        self.xray.announce_engine(
+            &label,
+            self.policy.name(),
+            self.geom.num_banks() as u32,
+            self.geom.ar_sets_per_bank(),
+        )
     }
 
     /// Fault injection for the conformance harness: offsets the §IV-C
@@ -490,9 +526,14 @@ impl RefreshEngine {
         let first = set * ar;
         let mut out = ArOutcome::default();
         let tracing = self.trace.is_active();
+        let xraying = self.xray.is_active();
         // Discharged chip-rows found by an untrusted scan; recorded in
         // the RefIssue record so replay can verify later trusted skips.
         let mut scan_discharged = 0u64;
+        // Discharged chip-rows this AR command saw, for the xray series:
+        // the scan count on untrusted sets, the skip count on trusted
+        // ones (skips are exactly the discharged rows there).
+        let mut xray_discharged = 0u64;
 
         match self.policy {
             RefreshPolicy::Conventional => {
@@ -551,6 +592,11 @@ impl RefreshEngine {
                         }
                     }
                 }
+                xray_discharged = if trusted {
+                    out.rows_skipped
+                } else {
+                    scan_discharged
+                };
                 self.telemetry.emit(|| Event::SkipDecision {
                     bank: bank.0,
                     set,
@@ -593,6 +639,8 @@ impl RefreshEngine {
                         }
                     }
                 }
+                // The tracker only skips rows it knows are discharged.
+                xray_discharged = out.rows_skipped;
             }
         }
 
@@ -610,6 +658,18 @@ impl RefreshEngine {
             rec.b = out.rows_refreshed;
             rec.c = out.rows_skipped;
             self.trace.record(rec);
+        }
+
+        if xraying {
+            self.xray.record_ar(
+                self.xray_engine,
+                self.window_index,
+                bank.0 as u32,
+                set,
+                out.rows_refreshed,
+                out.rows_skipped,
+                xray_discharged,
+            );
         }
 
         out
@@ -664,6 +724,21 @@ impl RefreshEngine {
             rec.c = window.rows_skipped;
             self.trace.record(rec);
         }
+        if self.xray.is_active() {
+            // End-of-window charge state per bank: how many chip rows sit
+            // fully discharged right now. The scan is only paid with the
+            // capture on — the off path stays allocation-free and
+            // byte-identical.
+            for bank in 0..self.geom.num_banks() {
+                let discharged = rank.count_discharged_chip_rows_in_bank(BankId(bank));
+                self.xray.record_window_state(
+                    self.xray_engine,
+                    self.window_index,
+                    bank as u32,
+                    discharged,
+                );
+            }
+        }
         self.window_index += 1;
         drop(span);
         window
@@ -708,6 +783,41 @@ mod tests {
         assert_eq!(w2.rows_refreshed, 0);
         assert!(w2.table_reads > 0);
         assert_eq!(w2.table_writes, 0);
+    }
+
+    #[test]
+    fn xray_capture_matches_window_totals() {
+        let (cfg, mut rank) = system();
+        let mut eng = RefreshEngine::new(&cfg, RefreshPolicy::ChargeAware).unwrap();
+        let xray = Arc::new(XrayRecorder::memory_with_cap(16));
+        eng.set_xray(Arc::clone(&xray));
+        let w1 = eng.run_window(&mut rank);
+        let w2 = eng.run_window(&mut rank);
+        let snap = xray.snapshot();
+        assert_eq!(snap.engines.len(), 1);
+        let e = &snap.engines[0];
+        assert_eq!(e.policy, "charge_aware");
+        assert_eq!(e.num_banks, rank.geometry().num_banks() as u32);
+        assert_eq!(e.ar_sets_per_bank, rank.geometry().ar_sets_per_bank());
+        let (refreshed, skipped) = e.totals();
+        assert_eq!(refreshed, w1.rows_refreshed + w2.rows_refreshed);
+        assert_eq!(skipped, w1.rows_skipped + w2.rows_skipped);
+        // Window 1 scans a fully discharged rank (untrusted), window 2
+        // trusts and skips: either way every chip row is discharged.
+        let per_window = rank.geometry().total_chip_row_refreshes_per_window();
+        let discharged: u64 = e.windows.iter().map(|r| r.discharged).sum();
+        assert_eq!(discharged, 2 * per_window);
+        // End-of-window bank state was captured for both windows and
+        // shows every bank fully discharged.
+        assert_eq!(
+            e.bank_discharged.len(),
+            2 * rank.geometry().num_banks()
+        );
+        let full_bank = rank.geometry().rows_per_bank() * rank.geometry().num_chips() as u64;
+        assert!(e
+            .bank_discharged
+            .iter()
+            .all(|r| r.discharged_rows == full_bank));
     }
 
     #[test]

@@ -98,6 +98,14 @@ impl MemoryController {
         self.trace = trace;
     }
 
+    /// Routes the charge-domain xray capture of this controller's
+    /// refresh engine and transformer to `xray` instead of the
+    /// process-wide recorder (hermetic tests, parallel sweeps).
+    pub fn set_xray(&mut self, xray: Arc<zr_xray::XrayRecorder>) {
+        self.engine.set_xray(Arc::clone(&xray));
+        self.transformer.set_xray(xray);
+    }
+
     /// The derived geometry.
     pub fn geometry(&self) -> &Geometry {
         &self.geom

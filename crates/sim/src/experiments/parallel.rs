@@ -4,12 +4,14 @@
 //! the [`zr_par`] work pool. It owns the part the raw pool cannot know
 //! about: the observability substrate. Each job runs against a *forked*
 //! [`zr_telemetry::Telemetry`] instance (and a private in-memory
-//! [`zr_trace::TraceRecorder`] when tracing is active), so workers never
-//! contend on — or interleave into — the parent's registry, event sink
-//! or trace stream. After the pool joins, the per-job contexts are
-//! absorbed back into the parent **in submission order**, which makes
-//! the merged counters, histograms, event lines and trace bytes
-//! independent of the thread count and of scheduling.
+//! [`zr_trace::TraceRecorder`] when tracing is active, and a private
+//! [`zr_xray::XrayRecorder`] when the charge-domain capture is active),
+//! so workers never contend on — or interleave into — the parent's
+//! registry, event sink, trace stream or xray buffers. After the pool
+//! joins, the per-job contexts are absorbed back into the parent **in
+//! submission order**, which makes the merged counters, histograms,
+//! event lines, trace bytes and xray captures independent of the thread
+//! count and of scheduling.
 //!
 //! The determinism contract, concretely:
 //!
@@ -34,6 +36,7 @@ use std::time::Instant;
 use zr_telemetry::{Event, Snapshot, Telemetry};
 use zr_trace::TraceRecorder;
 use zr_types::Result;
+use zr_xray::XrayRecorder;
 
 /// Environment variable enabling the live sweep progress reporter
 /// (`ZR_PROGRESS=1`): a throttled single-line status on stderr plus
@@ -143,7 +146,9 @@ impl SweepProgress {
                 return;
             }
         } else {
-            self.last_report_us.store(now_us, Ordering::Relaxed);
+            // Never store 0 for the final report: a sub-microsecond sweep
+            // would otherwise be indistinguishable from "never reported".
+            self.last_report_us.store(now_us.max(1), Ordering::Relaxed);
         }
         let chip_rows = self.chip_rows.load(Ordering::Relaxed);
         let line = render_progress(&self.label, done, self.total, chip_rows, now_us);
@@ -204,6 +209,7 @@ where
 
     let parent_telemetry = Telemetry::current();
     let parent_trace = TraceRecorder::current();
+    let parent_xray = XrayRecorder::current();
     let parent_scope = Telemetry::current_scope_path();
 
     let outcomes = zr_par::run_jobs_observed(
@@ -216,11 +222,19 @@ where
             } else {
                 None
             };
+            let job_xray = if parent_xray.is_active() {
+                Some(Arc::new(parent_xray.fork_job()))
+            } else {
+                None
+            };
 
             let _tel_guard = Telemetry::push_current(Arc::clone(&job_telemetry));
             let _trace_guard = job_trace
                 .as_ref()
                 .map(|t| TraceRecorder::push_current(Arc::clone(t)));
+            let _xray_guard = job_xray
+                .as_ref()
+                .map(|x| XrayRecorder::push_current(Arc::clone(x)));
             // Re-root the worker's (empty) span stack under the submitting
             // thread's scope so per-job events keep the figure-level prefix
             // a serial run would give them.
@@ -232,7 +246,7 @@ where
                 // snapshot is exactly this cell's contribution.
                 progress.add_units(snapshot_chip_rows(&job_telemetry.snapshot()));
             }
-            (out, job_telemetry, job_trace)
+            (out, job_telemetry, job_trace, job_xray)
         },
         |_, completed, _| {
             if let Some(progress) = &progress {
@@ -243,10 +257,13 @@ where
 
     let mut results = Vec::with_capacity(jobs);
     let mut first_err = None;
-    for (out, job_telemetry, job_trace) in outcomes {
+    for (out, job_telemetry, job_trace, job_xray) in outcomes {
         parent_telemetry.absorb_job(&job_telemetry);
         if let Some(trace) = job_trace {
             parent_trace.absorb_bytes(&trace.take_bytes());
+        }
+        if let Some(xray) = job_xray {
+            parent_xray.absorb(&xray);
         }
         match out {
             Ok(v) => results.push(v),

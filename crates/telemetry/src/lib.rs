@@ -31,6 +31,12 @@
 //! instance ([`Telemetry::fork_job`]) and the parent absorbs the jobs
 //! in submission order at join ([`Telemetry::absorb_job`]), so pooled
 //! sweeps never interleave writes into one sink.
+//!
+//! The charge-domain xray capture (`zr-xray`, `ZR_XRAY`, see
+//! `docs/XRAY.md`) follows the same current/push-current/fork/absorb
+//! pattern and reuses [`Telemetry::current_scope_path`] to label its
+//! engines, so an `xray.json` row and an `events.jsonl` line from the
+//! same sweep cell carry the same scope prefix.
 
 #![warn(missing_docs)]
 

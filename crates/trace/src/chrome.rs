@@ -7,7 +7,11 @@
 //! decisions, observed writes, charge transitions — become instant
 //! (`"i"`) events on per-bank tracks of a second "refresh decisions"
 //! process, using the record's position in the trace as a synthetic
-//! timebase so ordering is preserved.
+//! timebase so ordering is preserved. Retention-window boundaries are
+//! additionally emitted as global-scope instants on a dedicated
+//! "retention windows" track — full-height ruler lines that line the
+//! timeline up with the per-window columns of a `zr-xray` capture
+//! (`docs/XRAY.md`).
 //!
 //! The trace-event format is flat enough that events are emitted as
 //! JSON text directly, keeping the export dependency-free.
@@ -21,6 +25,11 @@ use zr_types::{Error, Result};
 const PID_COMMANDS: u64 = 1;
 /// Process id used for untimed decision instants.
 const PID_DECISIONS: u64 = 2;
+/// Track (`tid`) of the retention-window boundary instants, chosen far
+/// above any real bank index. The `zr-xray` windowed capture buckets by
+/// retention window, so this track is the alignment ruler between an
+/// `xray.json` heatmap column and the flight-recorder timeline.
+const TID_WINDOWS: u64 = 9999;
 
 /// Escapes a string for inclusion in a JSON string literal.
 fn escape(s: &str) -> String {
@@ -62,12 +71,23 @@ fn instant_event(name: &str, tid: u64, ts_us: f64, args: &str) -> String {
     )
 }
 
+/// A global-scope (`"s":"g"`) instant: viewers draw it as a full-height
+/// line across every track, which is what a window boundary needs.
+fn global_instant_event(name: &str, ts_us: f64, args: &str) -> String {
+    format!(
+        "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"g\",\"pid\":{PID_DECISIONS},\
+         \"tid\":{TID_WINDOWS},\"ts\":{ts_us},\"args\":{args}}}",
+        escape(name)
+    )
+}
+
 /// Converts records into Chrome trace events, one JSON object per entry.
 pub fn to_chrome_events(records: &[TraceRecord]) -> Vec<String> {
     let mut events = vec![
         metadata_event("process_name", PID_COMMANDS, 0, "dram commands"),
         metadata_event("process_name", PID_DECISIONS, 0, "refresh decisions"),
     ];
+    let mut windows_track_named = false;
     let mut named_tracks = std::collections::BTreeSet::new();
     let mut name_track = |events: &mut Vec<String>, pid: u64, tid: u64| {
         if named_tracks.insert((pid, tid)) {
@@ -148,6 +168,32 @@ pub fn to_chrome_events(records: &[TraceRecord]) -> Vec<String> {
                     index as f64,
                     &args,
                 ));
+                // Every boundary also lands on the shared "retention
+                // windows" track as a full-height ruler line, so the
+                // per-window columns of an xray capture can be lined up
+                // against the command/decision tracks.
+                if !windows_track_named {
+                    windows_track_named = true;
+                    events.push(metadata_event(
+                        "thread_name",
+                        PID_DECISIONS,
+                        TID_WINDOWS,
+                        "retention windows",
+                    ));
+                }
+                events.push(global_instant_event(
+                    &format!(
+                        "window {} {}",
+                        rec.a,
+                        if rec.kind == RecordKind::WindowStart {
+                            "start"
+                        } else {
+                            "end"
+                        }
+                    ),
+                    index as f64,
+                    &args,
+                ));
             }
             _ => {}
         }
@@ -220,6 +266,51 @@ mod tests {
         );
         assert!(instants[0].contains("\"ts\":0"));
         assert!(instants[1].contains("\"ts\":1"));
+    }
+
+    #[test]
+    fn window_boundaries_get_global_ruler_instants() {
+        let mut start = TraceRecord::new(RecordKind::WindowStart, 0);
+        start.a = 3;
+        let mut end = TraceRecord::new(RecordKind::WindowEnd, 0);
+        end.a = 3;
+        end.b = 100;
+        end.c = 28;
+        let events = to_chrome_events(&[start, end]);
+        let rulers: Vec<_> = events
+            .iter()
+            .filter(|e| e.contains("\"s\":\"g\""))
+            .collect();
+        assert_eq!(rulers.len(), 2);
+        assert!(
+            rulers[0].contains("\"name\":\"window 3 start\""),
+            "{}",
+            rulers[0]
+        );
+        assert!(rulers[0].contains(&format!("\"tid\":{TID_WINDOWS}")));
+        assert!(
+            rulers[1].contains("\"name\":\"window 3 end\""),
+            "{}",
+            rulers[1]
+        );
+        assert!(rulers[1].contains("\"refreshed\":100"));
+        assert!(rulers[1].contains("\"skipped\":28"));
+        // The shared track is named once, and the per-bank instants are
+        // still there (scoped, not global).
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| e.contains("retention windows"))
+                .count(),
+            1
+        );
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| e.contains("\"ph\":\"i\"") && e.contains("\"s\":\"t\""))
+                .count(),
+            2
+        );
     }
 
     #[test]

@@ -15,6 +15,7 @@ use zr_trace::{
 };
 use zr_types::geometry::RowIndex;
 use zr_types::{CachelineConfig, CellType, DramConfig, Result, SystemConfig, TransformConfig};
+use zr_xray::XrayRecorder;
 
 /// Pre-resolved `transform.*` metric handles. Stage "pick rates" are the
 /// per-stage counters divided by the call counters.
@@ -69,6 +70,7 @@ pub struct ValueTransformer {
     telemetry: Arc<Telemetry>,
     metrics: TransformMetrics,
     trace: Arc<TraceRecorder>,
+    xray: Arc<XrayRecorder>,
 }
 
 impl ValueTransformer {
@@ -88,6 +90,7 @@ impl ValueTransformer {
             metrics: TransformMetrics::new(&telemetry),
             telemetry,
             trace: TraceRecorder::current(),
+            xray: XrayRecorder::current(),
         })
     }
 
@@ -102,6 +105,12 @@ impl ValueTransformer {
     /// instead of the process-wide recorder.
     pub fn set_trace(&mut self, trace: Arc<TraceRecorder>) {
         self.trace = trace;
+    }
+
+    /// Routes this transformer's charge-domain stage attribution to
+    /// `xray` instead of the process-wide recorder.
+    pub fn set_xray(&mut self, xray: Arc<XrayRecorder>) {
+        self.xray = xray;
     }
 
     /// Flags describing which stages ran for a line bound to `row`.
@@ -146,21 +155,62 @@ impl ValueTransformer {
     pub fn encode_in_place(&self, line: &mut [u8], row: RowIndex) -> Result<()> {
         let span = self.telemetry.span("transform.encode");
         let inverted = self.stages.cell_aware && self.cell_type(row) == CellType::Anti;
+        // Charge-domain attribution: with the xray capture on, snapshot
+        // the charged-cell count around every stage so each one is
+        // charged with exactly the reduction it contributed. The
+        // snapshots telescope, so the per-stage deltas sum to the line's
+        // total reduction by construction. All of it is skipped (one
+        // relaxed load) when the capture is off.
+        let xraying = self.xray.is_active();
+        let mut deltas = [0i64; zr_xray::STAGE_COUNT];
+        let mut charged = if xraying {
+            self.charged_cell_count(line, row)
+        } else {
+            0
+        };
+        let charged_before = charged;
+        let mut stage_delta = |stage: usize, line: &[u8], charged: &mut u64| {
+            if xraying {
+                let now = self.charged_cell_count(line, row);
+                deltas[stage] = *charged as i64 - now as i64;
+                *charged = now;
+            }
+        };
         if self.stages.ebdi {
             ebdi::encode_in_place(line, &self.line)?;
             self.metrics.stage_ebdi.inc();
+            stage_delta(0, line, &mut charged);
         }
         if self.stages.bit_plane {
             bitplane::transpose_in_place(line, &self.line)?;
             self.metrics.stage_bit_plane.inc();
+            stage_delta(1, line, &mut charged);
         }
         if inverted {
             invert(line);
             self.metrics.stage_inversion.inc();
+            stage_delta(2, line, &mut charged);
         }
         if self.stages.rotation {
             rotation::rotate_in_place(line, row, self.dram.num_chips)?;
             self.metrics.stage_rotation.inc();
+            stage_delta(3, line, &mut charged);
+        }
+        if xraying {
+            // Bit 2 of the combo records whether the inversion actually
+            // ran for this line (cell-aware pipelines invert only anti
+            // rows), so true- and anti-row populations attribute apart.
+            self.xray.record_encode(
+                zr_xray::stage_combo(
+                    self.stages.ebdi,
+                    self.stages.bit_plane,
+                    inverted,
+                    self.stages.rotation,
+                ),
+                charged_before,
+                deltas,
+                charged,
+            );
         }
         self.metrics.encode_calls.inc();
         if self.trace.is_active() {
@@ -330,6 +380,48 @@ mod tests {
                 assert_eq!(line, original, "seed {seed} row {row}");
             }
         }
+    }
+
+    #[test]
+    fn xray_attribution_telescopes_per_stage() {
+        let recorder = Arc::new(XrayRecorder::memory());
+        let mut tf = tf();
+        tf.set_xray(Arc::clone(&recorder));
+        let mut expect_before = 0u64;
+        let mut expect_after = 0u64;
+        for seed in 0..8u64 {
+            for row in [0u64, 600] {
+                let mut line = pseudo_random_line(seed);
+                expect_before += tf.charged_cell_count(&line, RowIndex(row));
+                tf.encode_in_place(&mut line, RowIndex(row)).unwrap();
+                expect_after += tf.charged_cell_count(&line, RowIndex(row));
+            }
+        }
+        let snap = recorder.snapshot();
+        // True rows skip the inversion, so the two row populations land
+        // in distinct combos: ebdi+bit_plane+rotation with and without
+        // the inversion bit.
+        let combos: Vec<u8> = snap.stages.iter().map(|s| s.combo).collect();
+        assert_eq!(
+            combos,
+            vec![
+                zr_xray::stage_combo(true, true, false, true),
+                zr_xray::stage_combo(true, true, true, true),
+            ]
+        );
+        let (mut before, mut after, mut lines) = (0u64, 0u64, 0u64);
+        for s in &snap.stages {
+            assert!(
+                s.deltas_sum_to_total(),
+                "combo {} does not telescope",
+                s.combo
+            );
+            before += s.charged_before;
+            after += s.charged_after;
+            lines += s.lines;
+        }
+        assert_eq!(lines, 16);
+        assert_eq!((before, after), (expect_before, expect_after));
     }
 
     #[test]

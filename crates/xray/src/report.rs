@@ -1,0 +1,395 @@
+//! Deterministic ASCII rendering of a capture: the bank×window
+//! skip-fraction heatmap, the per-stage savings table and the two-capture
+//! diff behind `zr-xray report` / `zr-xray diff`.
+
+use std::collections::BTreeMap;
+
+use crate::snapshot::{combo_name, EngineCapture, XraySnapshot, STAGE_NAMES};
+
+/// Glyph ramp for skip fractions 0.0 ..= 1.0; `' '` is reserved for
+/// windows with no refresh activity at all.
+const RAMP: &[u8] = b".:-=+*#%@";
+
+/// Renders the full report: engine summary, one heatmap per selected
+/// engine, and the stage-attribution table. `engine` restricts the
+/// heatmaps to one engine index; the summary always covers all of them.
+pub fn render_report(snap: &XraySnapshot, engine: Option<usize>) -> String {
+    let mut out = String::new();
+    out.push_str(&render_summary(snap));
+    for (i, e) in snap.engines.iter().enumerate() {
+        if engine.is_some_and(|want| want != i) {
+            continue;
+        }
+        out.push('\n');
+        out.push_str(&render_heatmap(i, e));
+    }
+    out.push('\n');
+    out.push_str(&render_stage_table(snap));
+    out
+}
+
+/// The engine summary table: totals and overall skip fraction.
+pub fn render_summary(snap: &XraySnapshot) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "xray capture: {} engine(s), window cap {}\n\n",
+        snap.engines.len(),
+        snap.window_cap
+    ));
+    out.push_str("engine  refreshed     skipped      skip%  policy        label\n");
+    for (i, e) in snap.engines.iter().enumerate() {
+        let (refreshed, skipped) = e.totals();
+        out.push_str(&format!(
+            "{i:>6}  {refreshed:>9}  {skipped:>10}  {:>8}  {:<12}  {}\n",
+            percent(skipped, refreshed + skipped),
+            e.policy,
+            e.label,
+        ));
+    }
+    out
+}
+
+/// One engine's bank×window heatmap of the skip fraction, aggregated
+/// over AR sets. Banks are rows, window buckets are columns.
+pub fn render_heatmap(index: usize, e: &EngineCapture) -> String {
+    let mut out = String::new();
+    let (refreshed, skipped) = e.totals();
+    out.push_str(&format!(
+        "engine {index}: {} [{}] — skip fraction per bank × window (stride {})\n",
+        e.label, e.policy, e.window_stride
+    ));
+    // (bank, window) → (refreshed, skipped) summed over sets.
+    let mut cells: BTreeMap<(u32, u64), (u64, u64)> = BTreeMap::new();
+    let mut windows: Vec<u64> = Vec::new();
+    for r in &e.windows {
+        let cell = cells.entry((r.bank, r.window)).or_default();
+        cell.0 += r.rows_refreshed;
+        cell.1 += r.rows_skipped;
+        if windows.last() != Some(&r.window) && !windows.contains(&r.window) {
+            windows.push(r.window);
+        }
+    }
+    windows.sort_unstable();
+    if windows.is_empty() {
+        out.push_str("  (no refresh activity recorded)\n");
+        return out;
+    }
+    // Column header: first window index of each bucket, vertical digits.
+    let label_width = windows
+        .iter()
+        .map(|w| w.to_string().len())
+        .max()
+        .unwrap_or(1);
+    for digit in 0..label_width {
+        out.push_str(if digit == label_width - 1 {
+            "  window "
+        } else {
+            "         "
+        });
+        for w in &windows {
+            let text = format!("{w:>label_width$}");
+            out.push(text.as_bytes()[digit] as char);
+        }
+        out.push('\n');
+    }
+    for bank in 0..e.num_banks {
+        out.push_str(&format!("  bank{bank:>3} "));
+        for &w in &windows {
+            out.push(match cells.get(&(bank, w)) {
+                None => ' ',
+                Some(&(refreshed, skipped)) => {
+                    let total = refreshed + skipped;
+                    if total == 0 {
+                        ' '
+                    } else {
+                        let level = (skipped as f64 / total as f64 * (RAMP.len() - 1) as f64)
+                            .round() as usize;
+                        RAMP[level.min(RAMP.len() - 1)] as char
+                    }
+                }
+            });
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "  scale: `{}` = 0% skipped … `{}` = 100%; overall {} of {} chip rows skipped ({})\n",
+        RAMP[0] as char,
+        RAMP[RAMP.len() - 1] as char,
+        skipped,
+        refreshed + skipped,
+        percent(skipped, refreshed + skipped),
+    ));
+    out
+}
+
+/// The per-stage savings table: one row per observed stage combination,
+/// with the telescoping-sum check and a totals row.
+pub fn render_stage_table(snap: &XraySnapshot) -> String {
+    let mut out = String::new();
+    out.push_str("transform-stage charged-cell attribution\n\n");
+    if snap.stages.is_empty() {
+        out.push_str("  (no encoded lines recorded)\n");
+        return out;
+    }
+    out.push_str(&format!(
+        "{:<33} {:>9} {:>12} {:>10} {:>10} {:>10} {:>10} {:>12}  check\n",
+        "stages",
+        "lines",
+        "charged",
+        STAGE_NAMES[0],
+        STAGE_NAMES[1],
+        STAGE_NAMES[2],
+        STAGE_NAMES[3],
+        "saved",
+    ));
+    let mut total_before = 0u64;
+    let mut total_after = 0u64;
+    let mut total_deltas = [0i64; STAGE_NAMES.len()];
+    let mut all_exact = true;
+    for s in &snap.stages {
+        let exact = s.deltas_sum_to_total();
+        all_exact &= exact;
+        total_before += s.charged_before;
+        total_after += s.charged_after;
+        for (total, delta) in total_deltas.iter_mut().zip(s.deltas) {
+            *total += delta;
+        }
+        out.push_str(&format!(
+            "{:<33} {:>9} {:>12} {:>10} {:>10} {:>10} {:>10} {:>12}  {}\n",
+            combo_name(s.combo),
+            s.lines,
+            s.charged_before,
+            s.deltas[0],
+            s.deltas[1],
+            s.deltas[2],
+            s.deltas[3],
+            s.total_reduction(),
+            if exact { "ok" } else { "MISMATCH" },
+        ));
+    }
+    let run_total = total_before as i64 - total_after as i64;
+    let sums_exact = total_deltas.iter().sum::<i64>() == run_total;
+    out.push_str(&format!(
+        "{:<33} {:>9} {:>12} {:>10} {:>10} {:>10} {:>10} {:>12}\n",
+        "TOTAL",
+        snap.stages.iter().map(|s| s.lines).sum::<u64>(),
+        total_before,
+        total_deltas[0],
+        total_deltas[1],
+        total_deltas[2],
+        total_deltas[3],
+        run_total,
+    ));
+    out.push_str(&format!(
+        "stage deltas sum to the run's total charged-cell reduction: {}\n",
+        if all_exact && sums_exact {
+            "OK"
+        } else {
+            "MISMATCH"
+        },
+    ));
+    out
+}
+
+/// Whether every stage row of `snap` telescopes exactly (what the
+/// report's final `check` line asserts).
+pub fn attribution_exact(snap: &XraySnapshot) -> bool {
+    snap.stages.iter().all(|s| s.deltas_sum_to_total())
+}
+
+/// Renders the difference between two captures: engine totals and stage
+/// aggregates. Identical captures produce the single line
+/// `captures are identical`.
+pub fn render_diff(a: &XraySnapshot, b: &XraySnapshot) -> String {
+    if a == b {
+        return "captures are identical\n".to_string();
+    }
+    let mut out = String::new();
+    if a.engines.len() != b.engines.len() {
+        out.push_str(&format!(
+            "engine count: {} -> {}\n",
+            a.engines.len(),
+            b.engines.len()
+        ));
+    }
+    for (i, (ea, eb)) in a.engines.iter().zip(&b.engines).enumerate() {
+        if ea.label != eb.label {
+            out.push_str(&format!(
+                "engine {i}: label {:?} -> {:?}\n",
+                ea.label, eb.label
+            ));
+        }
+        let (ra, sa) = ea.totals();
+        let (rb, sb) = eb.totals();
+        if (ra, sa) != (rb, sb) {
+            out.push_str(&format!(
+                "engine {i} ({}): refreshed {ra} -> {rb} ({:+}), skipped {sa} -> {sb} ({:+})\n",
+                ea.label,
+                rb as i64 - ra as i64,
+                sb as i64 - sa as i64,
+            ));
+        } else if ea != eb {
+            out.push_str(&format!(
+                "engine {i} ({}): same totals, different window distribution\n",
+                ea.label
+            ));
+        }
+    }
+    let stages = |snap: &XraySnapshot| -> BTreeMap<u8, (u64, i64)> {
+        snap.stages
+            .iter()
+            .map(|s| (s.combo, (s.lines, s.total_reduction())))
+            .collect()
+    };
+    let sa = stages(a);
+    let sb = stages(b);
+    let combos: std::collections::BTreeSet<u8> = sa.keys().chain(sb.keys()).copied().collect();
+    for combo in combos {
+        let (la, ra) = sa.get(&combo).copied().unwrap_or((0, 0));
+        let (lb, rb) = sb.get(&combo).copied().unwrap_or((0, 0));
+        if (la, ra) != (lb, rb) {
+            out.push_str(&format!(
+                "stages {}: lines {la} -> {lb} ({:+}), saved {ra} -> {rb} ({:+})\n",
+                combo_name(combo),
+                lb as i64 - la as i64,
+                rb - ra,
+            ));
+        }
+    }
+    if out.is_empty() {
+        // Structurally different in a way the totals hide (e.g. window
+        // caps); still not byte-identical.
+        out.push_str("captures differ (same totals; compare the files directly)\n");
+    }
+    out
+}
+
+fn percent(part: u64, whole: u64) -> String {
+    if whole == 0 {
+        "-".to_string()
+    } else {
+        format!("{:.1}%", part as f64 / whole as f64 * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{ArRow, StageCapture};
+
+    fn sample() -> XraySnapshot {
+        let mut engine = EngineCapture {
+            label: "fig14/mcf".into(),
+            policy: "charge_aware".into(),
+            num_banks: 2,
+            ar_sets_per_bank: 1,
+            window_stride: 1,
+            windows: vec![],
+            bank_discharged: vec![],
+        };
+        for window in 0..3 {
+            for bank in 0..2 {
+                engine.windows.push(ArRow {
+                    window,
+                    bank,
+                    set: 0,
+                    rows_refreshed: 8 - window - bank as u64,
+                    rows_skipped: window + bank as u64,
+                    discharged: window + bank as u64,
+                });
+            }
+        }
+        XraySnapshot {
+            window_cap: 64,
+            engines: vec![engine],
+            stages: vec![StageCapture {
+                combo: 5,
+                lines: 4,
+                charged_before: 1000,
+                charged_after: 600,
+                deltas: [320, 0, 80, 0],
+            }],
+        }
+    }
+
+    #[test]
+    fn report_renders_heatmap_and_table() {
+        let snap = sample();
+        let text = render_report(&snap, None);
+        assert!(text.contains("bank  0"), "{text}");
+        assert!(text.contains("bank  1"), "{text}");
+        assert!(text.contains("window 012"), "{text}");
+        assert!(text.contains("ebdi+inversion"), "{text}");
+        assert!(text.contains("stage deltas sum to the run's total charged-cell reduction: OK"));
+        assert!(attribution_exact(&snap));
+        // Same input, same bytes.
+        assert_eq!(text, render_report(&snap, None));
+    }
+
+    #[test]
+    fn report_flags_inexact_attribution() {
+        let mut snap = sample();
+        snap.stages[0].deltas[0] += 1;
+        let text = render_report(&snap, None);
+        assert!(text.contains("MISMATCH"), "{text}");
+        assert!(!attribution_exact(&snap));
+    }
+
+    #[test]
+    fn engine_filter_drops_other_heatmaps() {
+        let mut snap = sample();
+        let mut second = snap.engines[0].clone();
+        second.label = "fig14/gcc".into();
+        snap.engines.push(second);
+        let text = render_report(&snap, Some(1));
+        assert!(!text.contains("engine 0: fig14/mcf ["), "{text}");
+        assert!(text.contains("engine 1: fig14/gcc ["), "{text}");
+    }
+
+    #[test]
+    fn heatmap_uses_full_ramp() {
+        let engine = EngineCapture {
+            label: "ramp".into(),
+            policy: "charge_aware".into(),
+            num_banks: 1,
+            ar_sets_per_bank: 1,
+            window_stride: 1,
+            windows: vec![
+                ArRow {
+                    window: 0,
+                    bank: 0,
+                    set: 0,
+                    rows_refreshed: 10,
+                    rows_skipped: 0,
+                    discharged: 0,
+                },
+                ArRow {
+                    window: 1,
+                    bank: 0,
+                    set: 0,
+                    rows_refreshed: 0,
+                    rows_skipped: 10,
+                    discharged: 10,
+                },
+            ],
+            bank_discharged: vec![],
+        };
+        let text = render_heatmap(0, &engine);
+        assert!(text.contains("  bank  0 .@\n"), "{text}");
+    }
+
+    #[test]
+    fn diff_is_identical_only_for_equal_captures() {
+        let snap = sample();
+        assert_eq!(render_diff(&snap, &snap), "captures are identical\n");
+        let mut other = sample();
+        other.engines[0].windows[0].rows_skipped += 2;
+        other.stages[0].lines += 1;
+        let text = render_diff(&snap, &other);
+        assert!(text.contains("engine 0 (fig14/mcf)"), "{text}");
+        assert!(
+            text.contains("stages ebdi+inversion: lines 4 -> 5"),
+            "{text}"
+        );
+    }
+}
