@@ -290,6 +290,20 @@ fn check_parallel_speedup(current: &PerfReport) -> bool {
         eprintln!("[zr-bench] parallel speedup: slices missing, skipping check");
         return true;
     };
+    // Allocation pressure of both slices, per work unit: a parallel
+    // slice that allocates much more than serial is paying for its
+    // coordination, which is the usual culprit when the speedup sags.
+    let apwu = |name: &str| {
+        current
+            .slice(name)
+            .map(|s| format!("{:.3}", s.allocs_per_work_unit()))
+            .unwrap_or_else(|| "?".into())
+    };
+    let allocs = format!(
+        "allocs/work_unit serial {} vs parallel {}",
+        apwu("fig14_subset"),
+        apwu("fig14_subset_parallel")
+    );
     let measured_threads = current
         .slice("fig14_subset_parallel")
         .map(|s| s.threads)
@@ -299,7 +313,8 @@ fn check_parallel_speedup(current: &PerfReport) -> bool {
     if (cores as u64) < measured_threads {
         eprintln!(
             "[zr-bench] parallel speedup {speedup:.2}x at the measured {measured_threads} pool \
-             thread(s) (informational: only {cores} hardware thread(s), floor not enforced)"
+             thread(s) (informational: only {cores} hardware thread(s), floor not enforced; \
+             {allocs})"
         );
         return true;
     }
@@ -307,13 +322,13 @@ fn check_parallel_speedup(current: &PerfReport) -> bool {
         eprintln!(
             "[zr-bench] FAIL parallel speedup {speedup:.2}x at the measured {measured_threads} \
              pool thread(s) is below the {MIN_SPEEDUP:.1}x floor ({cores} hardware threads \
-             available)"
+             available; {allocs})"
         );
         return false;
     }
     eprintln!(
         "[zr-bench] parallel speedup {speedup:.2}x at the measured {measured_threads} pool \
-         thread(s) (floor {MIN_SPEEDUP:.1}x)"
+         thread(s) (floor {MIN_SPEEDUP:.1}x; {allocs})"
     );
     true
 }

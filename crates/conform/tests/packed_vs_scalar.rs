@@ -1,0 +1,242 @@
+//! Differential battery: packed discharged-bitmap path vs the retained
+//! scalar byte-scan oracle.
+//!
+//! Two `DramRank`s receive an identical command stream; one is pinned to
+//! the scalar reference path with `set_force_scalar(true)` (available
+//! under the `scalar-oracle` feature). Every window's `WindowStats`,
+//! every per-set `ArOutcome` skip decision, and the discharged counts at
+//! rank, bank, and chip-row granularity must be bit-identical.
+//!
+//! The deterministic sweep always executes ≥ 256 reproducible cases
+//! (seeds × policies × write patterns × geometry variants); the
+//! `proptest!` block layers shrinking exploration on top, honouring the
+//! `PROPTEST_RNG_SEED` pin in CI.
+
+use proptest::prelude::*;
+use zr_dram::{DramRank, RefreshEngine, RefreshPolicy, WindowStats};
+use zr_types::geometry::{BankId, ChipId, RowIndex};
+use zr_types::SystemConfig;
+
+/// Splitmix64 step: the test's own seed stream, independent of any
+/// external RNG crate so the case list is pinned by construction.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Geometry variants mirroring the differential_dram sweep: stock small
+/// config, anti-cells-first phase, smaller cell blocks, four banks.
+fn config_variants() -> Vec<SystemConfig> {
+    let base = SystemConfig::small_test();
+    let mut anti_first = base.clone();
+    anti_first.dram.anti_cells_first = true;
+    let mut small_blocks = base.clone();
+    small_blocks.dram.cell_block_rows = 8;
+    let mut four_banks = base.clone();
+    four_banks.dram.num_banks = 4;
+    for cfg in [&anti_first, &small_blocks, &four_banks] {
+        cfg.validate().expect("variant config must validate");
+    }
+    vec![base, anti_first, small_blocks, four_banks]
+}
+
+fn policies() -> [RefreshPolicy; 3] {
+    [
+        RefreshPolicy::ChargeAware,
+        RefreshPolicy::Conventional,
+        RefreshPolicy::NaiveSram,
+    ]
+}
+
+/// The write-content patterns the sweep rotates through. Zeros/ones land
+/// exactly on the true/anti discharged byte patterns, so they exercise
+/// the charged-byte zero-crossing bookkeeping; the sparse pattern flips
+/// single bytes back and forth across the threshold.
+#[derive(Clone, Copy, Debug)]
+enum WritePattern {
+    Random,
+    Zeros,
+    Ones,
+    SparseFlip,
+    Alternating,
+}
+
+const PATTERNS: [WritePattern; 5] = [
+    WritePattern::Random,
+    WritePattern::Zeros,
+    WritePattern::Ones,
+    WritePattern::SparseFlip,
+    WritePattern::Alternating,
+];
+
+fn fill_line(pattern: WritePattern, rng: &mut u64, line: &mut [u8]) {
+    match pattern {
+        WritePattern::Random => {
+            for b in line.iter_mut() {
+                *b = splitmix(rng) as u8;
+            }
+        }
+        WritePattern::Zeros => line.fill(0x00),
+        WritePattern::Ones => line.fill(0xFF),
+        WritePattern::SparseFlip => {
+            let base = if splitmix(rng) & 1 == 0 { 0x00 } else { 0xFF };
+            line.fill(base);
+            let idx = (splitmix(rng) as usize) % line.len();
+            line[idx] ^= 0xA5;
+        }
+        WritePattern::Alternating => {
+            for (i, b) in line.iter_mut().enumerate() {
+                *b = if i % 2 == 0 { 0x0F } else { 0xF0 };
+            }
+        }
+    }
+}
+
+/// Asserts every discharge observable agrees between the two ranks.
+fn assert_state_identical(packed: &DramRank, scalar: &DramRank, ctx: &str) {
+    assert_eq!(
+        packed.count_discharged_chip_rows(),
+        scalar.count_discharged_chip_rows(),
+        "{ctx}: rank-level discharged count diverged"
+    );
+    let geom = packed.geometry();
+    for bank in 0..geom.num_banks() {
+        assert_eq!(
+            packed.count_discharged_chip_rows_in_bank(BankId(bank)),
+            scalar.count_discharged_chip_rows_in_bank(BankId(bank)),
+            "{ctx}: bank {bank} discharged count diverged"
+        );
+        for chip in 0..geom.num_chips() {
+            for row in 0..geom.rows_per_bank() {
+                let p = packed.chip_row_is_discharged(ChipId(chip), BankId(bank), RowIndex(row));
+                let s = scalar.chip_row_is_discharged(ChipId(chip), BankId(bank), RowIndex(row));
+                assert_eq!(p, s, "{ctx}: chip {chip} bank {bank} row {row} diverged");
+            }
+        }
+    }
+}
+
+/// Runs one case: an identical op stream through a packed rank and a
+/// scalar-forced rank, comparing stats, skip decisions, and counts after
+/// every window.
+fn run_case(config: &SystemConfig, policy: RefreshPolicy, pattern: WritePattern, seed: u64) {
+    let mut packed = DramRank::new(config).expect("packed rank");
+    let mut scalar = DramRank::new(config).expect("scalar rank");
+    scalar.set_force_scalar(true);
+    let mut packed_engine = RefreshEngine::new(config, policy).expect("packed engine");
+    let mut scalar_engine = RefreshEngine::new(config, policy).expect("scalar engine");
+
+    let geom = packed.geometry().clone();
+    let mut rng = seed;
+    let mut line = vec![0u8; geom.line_bytes()];
+    let mut packed_total = WindowStats::default();
+    let mut scalar_total = WindowStats::default();
+
+    for window in 0..3u32 {
+        for _ in 0..16 {
+            let bank = BankId((splitmix(&mut rng) as usize) % geom.num_banks());
+            let row = RowIndex(splitmix(&mut rng) % geom.rows_per_bank());
+            let slot = (splitmix(&mut rng) as usize) % geom.lines_per_row();
+            match splitmix(&mut rng) % 8 {
+                0 => {
+                    packed.cleanse_row(bank, row).expect("cleanse packed");
+                    scalar.cleanse_row(bank, row).expect("cleanse scalar");
+                }
+                1 => {
+                    let chip = ChipId((splitmix(&mut rng) as usize) % geom.num_chips());
+                    packed
+                        .force_charge_chip_row(chip, bank, row)
+                        .expect("force packed");
+                    scalar
+                        .force_charge_chip_row(chip, bank, row)
+                        .expect("force scalar");
+                    packed_engine.note_write(&packed, bank, row);
+                    scalar_engine.note_write(&scalar, bank, row);
+                }
+                _ => {
+                    fill_line(pattern, &mut rng, &mut line);
+                    packed
+                        .write_encoded_line(bank, row, slot, &line)
+                        .expect("write packed");
+                    scalar
+                        .write_encoded_line(bank, row, slot, &line)
+                        .expect("write scalar");
+                    packed_engine.note_write(&packed, bank, row);
+                    scalar_engine.note_write(&scalar, bank, row);
+                }
+            }
+        }
+        // Probe a few AR sets on engine clones so per-set skip decisions
+        // are compared at the finest observable granularity without
+        // perturbing the staggered schedule of the real engines.
+        for probe in 0..4 {
+            let bank = BankId((splitmix(&mut rng) as usize) % geom.num_banks());
+            let set = splitmix(&mut rng) % geom.ar_rows().max(1);
+            let p = packed_engine.clone().process_ar(&packed, bank, set);
+            let s = scalar_engine.clone().process_ar(&scalar, bank, set);
+            assert_eq!(
+                p, s,
+                "seed {seed:#x} window {window} probe {probe}: ArOutcome diverged"
+            );
+        }
+        let pw = packed_engine.run_window(&mut packed);
+        let sw = scalar_engine.run_window(&mut scalar);
+        assert_eq!(
+            pw, sw,
+            "seed {seed:#x} window {window}: WindowStats diverged"
+        );
+        packed_total.accumulate(&pw);
+        scalar_total.accumulate(&sw);
+        assert_state_identical(&packed, &scalar, &format!("seed {seed:#x} window {window}"));
+    }
+    assert_eq!(
+        packed_total, scalar_total,
+        "seed {seed:#x}: accumulated stats diverged"
+    );
+    assert_eq!(
+        packed_engine.totals(),
+        scalar_engine.totals(),
+        "seed {seed:#x}: engine totals diverged"
+    );
+}
+
+/// ≥ 256 pinned cases: 4 geometry variants × 3 policies × 5 patterns ×
+/// 5 seeds = 300 combinations, each fully deterministic.
+#[test]
+fn deterministic_sweep_packed_matches_scalar() {
+    let variants = config_variants();
+    let mut case = 0u64;
+    for (vi, config) in variants.iter().enumerate() {
+        for (pi, policy) in policies().iter().enumerate() {
+            for (wi, pattern) in PATTERNS.iter().enumerate() {
+                for s in 0..5u64 {
+                    let seed = 0xD1FF_0000_0000_0000
+                        | ((vi as u64) << 24)
+                        | ((pi as u64) << 16)
+                        | ((wi as u64) << 8)
+                        | s;
+                    run_case(config, *policy, *pattern, seed);
+                    case += 1;
+                }
+            }
+        }
+    }
+    assert!(case >= 256, "sweep shrank below the contract: {case} cases");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+    #[test]
+    fn proptest_packed_matches_scalar(
+        seed in any::<u64>(),
+        variant in 0usize..4,
+        policy_pick in 0usize..3,
+        pattern_pick in 0usize..PATTERNS.len(),
+    ) {
+        let config = config_variants()[variant].clone();
+        run_case(&config, policies()[policy_pick], PATTERNS[pattern_pick], seed);
+    }
+}

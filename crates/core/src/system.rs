@@ -1,6 +1,6 @@
 //! The top-level ZERO-REFRESH system handle.
 
-use zr_dram::{RefreshPolicy, WindowStats};
+use zr_dram::{RefreshPolicy, SweepArena, WindowStats};
 use zr_energy::{EnergyAccountant, EnergyBreakdown};
 use zr_memctrl::{AccessStats, MemoryController};
 use zr_types::geometry::LineAddr;
@@ -116,6 +116,21 @@ impl ZeroRefreshSystem {
         self.controller.write_line(addr, data)
     }
 
+    /// [`Self::write_line`] against the caller's sweep arena (the
+    /// allocation-free form the experiment drivers use).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the controller's length/address errors.
+    pub fn write_line_with(
+        &mut self,
+        addr: LineAddr,
+        data: &[u8],
+        arena: &mut SweepArena,
+    ) -> Result<()> {
+        self.controller.write_line_with(addr, data, arena)
+    }
+
     /// Reads one cacheline.
     ///
     /// # Errors
@@ -156,6 +171,13 @@ impl ZeroRefreshSystem {
     pub fn run_refresh_window(&mut self) -> WindowStats {
         self.windows += 1;
         self.controller.run_refresh_window()
+    }
+
+    /// [`Self::run_refresh_window`] against the caller's sweep arena,
+    /// reset (not freed) at the window boundary.
+    pub fn run_refresh_window_with(&mut self, arena: &mut SweepArena) -> WindowStats {
+        self.windows += 1;
+        self.controller.run_refresh_window_with(arena)
     }
 
     /// Retention windows run so far.

@@ -1,0 +1,66 @@
+//! Reusable scratch buffers for the sweep hot path.
+//!
+//! Before this layer existed, every simulated write allocated: the
+//! transform pipeline cloned the cacheline, the bitplane stage collected
+//! a fresh delta vector, and the rank read path built a new buffer per
+//! line. [`SweepArena`] centralizes that scratch in one object *owned by
+//! the sweep driver* (the `zr_sim::experiments` drivers, or the memory
+//! controller's internal fallback for one-off callers) with a
+//! reset-not-freed contract: buffers are cleared between uses but their
+//! capacity persists, so a steady-state window performs zero allocations
+//! (pinned by `crates/prof/tests/sweep_alloc_budget.rs`).
+//!
+//! Ownership rule: one arena per sweep thread. Arenas are plain owned
+//! data — `zr-par` jobs each construct (or are handed) their own, so the
+//! deterministic pool never shares scratch across jobs.
+
+/// Reusable scratch for one sweep thread: the encode/decode line buffer
+/// and the bitplane delta-word scratch.
+///
+/// Obtain one with [`SweepArena::new`], hand it to
+/// `MemoryController::write_line_with` / `RefreshEngine::run_window_with`
+/// (or the `zr-core` / `zr-sim` wrappers above them), and keep it alive
+/// for the whole sweep. Dropping and recreating it per window forfeits
+/// the warm capacity and brings the allocation storm back.
+#[derive(Debug, Default, Clone)]
+pub struct SweepArena {
+    /// Cacheline-sized staging buffer for in-place encode/decode.
+    pub line: Vec<u8>,
+    /// Delta-word scratch for the bitplane transpose stages.
+    pub deltas: Vec<u64>,
+}
+
+impl SweepArena {
+    /// An empty arena. Buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        SweepArena::default()
+    }
+
+    /// Resets the arena at a window boundary: lengths drop to zero,
+    /// capacity is retained. [`RefreshEngine::run_window_with`] calls
+    /// this on entry, which is what makes the "reset-not-freed" contract
+    /// an engine-owned invariant rather than caller discipline.
+    ///
+    /// [`RefreshEngine::run_window_with`]: crate::refresh::RefreshEngine::run_window_with
+    pub fn begin_window(&mut self) {
+        self.line.clear();
+        self.deltas.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn begin_window_keeps_capacity() {
+        let mut arena = SweepArena::new();
+        arena.line.extend_from_slice(&[1u8; 128]);
+        arena.deltas.extend_from_slice(&[7u64; 16]);
+        let (lc, dc) = (arena.line.capacity(), arena.deltas.capacity());
+        arena.begin_window();
+        assert!(arena.line.is_empty() && arena.deltas.is_empty());
+        assert_eq!(arena.line.capacity(), lc);
+        assert_eq!(arena.deltas.capacity(), dc);
+    }
+}

@@ -1,15 +1,113 @@
 //! Sparse byte storage for one DRAM rank.
 //!
-//! Storage is per *chip-row*: chip `c`, bank `b`, row `r` holds
-//! `row_bytes / num_chips` bytes. Absent rows represent memory never
-//! written since the OS cleansed it — their stored image is the discharged
-//! pattern of the row's cell type, which reads back as logical zeros
-//! through the value-transformation inverse.
+//! Storage is per *rank-row*: bank `b`, row `r` holds one chip-major image
+//! of `row_bytes` bytes (chip `c` owns bytes `c * chip_row_bytes ..`).
+//! Absent rows represent memory never written since the OS cleansed it —
+//! their stored image is the discharged pattern of the row's cell type,
+//! which reads back as logical zeros through the value-transformation
+//! inverse.
+//!
+//! # The packed charge bitplane
+//!
+//! Every bank additionally maintains a word-packed *charged bitmap* with
+//! one bit per chip-row (bit set = at least one charged cell). The bitmap
+//! is rebuilt incrementally on every write by diffing the overwritten
+//! segment against the discharged pattern, so the §IV-B wired-OR check
+//! ([`DramRank::chip_row_is_discharged`]) is a single bit probe and
+//! [`DramRank::count_discharged_chip_rows_in_bank`] is a
+//! `u64::count_ones` loop — no byte-pattern scans on the sweep hot path.
+//!
+//! The original per-cell byte-scan path is retained behind
+//! `#[cfg(any(test, feature = "scalar-oracle"))]` as the differential
+//! reference oracle ([`DramRank::set_force_scalar`]); debug builds with
+//! the oracle compiled in assert the two paths agree on every query.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use zr_types::geometry::{BankId, ChipId, RowIndex};
 use zr_types::{CellType, DramConfig, Error, Geometry, Result, SystemConfig};
+
+/// Multiply-shift hasher for row indices (splitmix64 finalizer). Row keys
+/// are already well-distributed small integers; SipHash's DoS resistance
+/// buys nothing here and costs ~8 ns per probe on the write hot path.
+#[derive(Debug, Default)]
+pub struct RowKeyHasher(u64);
+
+impl Hasher for RowKeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // FNV-1a fallback for non-u64 keys (unused by the row maps).
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        let mut x = value;
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+        self.0 = x ^ (x >> 31);
+    }
+}
+
+type RowMap = HashMap<u64, RowStore, BuildHasherDefault<RowKeyHasher>>;
+
+/// Explicit storage for one written rank-row.
+#[derive(Debug, Clone)]
+struct RowStore {
+    /// The whole rank-row image, chip-major, followed by a tail of
+    /// `num_chips` little-endian `u32` charged-byte counts (bytes
+    /// differing from the discharged pattern, per chip). Folding the
+    /// counts into the image buffer keeps a resident row at exactly one
+    /// allocation. Zero-crossings of the counts are what flip the bank's
+    /// packed charged bits.
+    bytes: Box<[u8]>,
+    /// Bit `c` set: chip `c` holds explicit (written) storage. Kept so
+    /// [`DramRank::resident_chip_rows`] preserves the semantics of the
+    /// old per-chip sparse maps (a forced charge touches one chip, a line
+    /// write all of them).
+    written: u128,
+}
+
+impl RowStore {
+    fn fresh(pattern: u8, row_bytes: usize, num_chips: usize) -> Self {
+        let mut bytes = vec![pattern; row_bytes + num_chips * 4];
+        bytes[row_bytes..].fill(0);
+        RowStore {
+            bytes: bytes.into_boxed_slice(),
+            written: 0,
+        }
+    }
+
+    /// Charged-byte count of chip `c` (from the buffer tail).
+    fn charged_count(&self, row_bytes: usize, c: usize) -> u32 {
+        let off = row_bytes + c * 4;
+        u32::from_le_bytes(self.bytes[off..off + 4].try_into().expect("count width"))
+    }
+
+    fn set_charged_count(&mut self, row_bytes: usize, c: usize, value: u32) {
+        let off = row_bytes + c * 4;
+        self.bytes[off..off + 4].copy_from_slice(&value.to_le_bytes());
+    }
+}
+
+/// One bank: its written rows plus the packed charged bitmap over all
+/// (chip, row) pairs.
+#[derive(Debug, Clone)]
+struct BankStore {
+    rows: RowMap,
+    /// Chip `c` owns words `c * words_per_chip ..`; within a chip's
+    /// region, row `r` is bit `r % 64` of word `r / 64`. Padding bits
+    /// (when `rows_per_bank` is not a multiple of 64) stay zero, so
+    /// popcounts over the whole vector need no masking.
+    charged: Vec<u64>,
+}
 
 /// One rank of DRAM devices: `num_chips` chips × `num_banks` banks of
 /// sparse rows.
@@ -22,16 +120,17 @@ use zr_types::{CellType, DramConfig, Error, Geometry, Result, SystemConfig};
 pub struct DramRank {
     geom: Geometry,
     dram: DramConfig,
-    /// `chips[c].banks[b]` maps row index → stored bytes.
-    chips: Vec<ChipStore>,
+    banks: Vec<BankStore>,
+    /// Packed-bitmap stride: words per chip region in each bank's
+    /// `charged` vector.
+    words_per_chip: usize,
     /// Rows remapped by row sparing; refresh skipping is disabled on them
     /// (§IV-B) because the spare may live in a different cell-type region.
     spared: Vec<(BankId, RowIndex)>,
-}
-
-#[derive(Debug, Clone)]
-struct ChipStore {
-    banks: Vec<HashMap<u64, Box<[u8]>>>,
+    /// Differential-oracle toggle: route all discharge queries through
+    /// the retained byte-scan path.
+    #[cfg(any(test, feature = "scalar-oracle"))]
+    force_scalar: bool,
 }
 
 impl DramRank {
@@ -43,16 +142,21 @@ impl DramRank {
     /// validate.
     pub fn new(config: &SystemConfig) -> Result<Self> {
         let geom = Geometry::new(config)?;
-        let chips = (0..geom.num_chips())
-            .map(|_| ChipStore {
-                banks: (0..geom.num_banks()).map(|_| HashMap::new()).collect(),
+        let words_per_chip = (geom.rows_per_bank() as usize).div_ceil(64);
+        let banks = (0..geom.num_banks())
+            .map(|_| BankStore {
+                rows: RowMap::default(),
+                charged: vec![0u64; geom.num_chips() * words_per_chip],
             })
             .collect();
         Ok(DramRank {
             geom,
             dram: config.dram.clone(),
-            chips,
+            banks,
+            words_per_chip,
             spared: Vec::new(),
+            #[cfg(any(test, feature = "scalar-oracle"))]
+            force_scalar: false,
         })
     }
 
@@ -83,6 +187,24 @@ impl DramRank {
         self.spared.contains(&(bank, row))
     }
 
+    /// Forces every discharge query through the retained per-cell byte
+    /// scans instead of the packed bitmap — the differential reference
+    /// oracle the conformance battery compares against. Results must be
+    /// bit-identical either way; only the access pattern differs.
+    #[cfg(any(test, feature = "scalar-oracle"))]
+    pub fn set_force_scalar(&mut self, force: bool) {
+        self.force_scalar = force;
+    }
+
+    /// Word index and bit mask of (chip, row) in a bank's packed bitmap.
+    #[inline]
+    fn charged_locus(&self, chip: usize, row: u64) -> (usize, u64) {
+        (
+            chip * self.words_per_chip + (row / 64) as usize,
+            1u64 << (row % 64),
+        )
+    }
+
     /// Writes an encoded, chip-major cacheline into `slot` of
     /// (`bank`, `row`). Segment `c` of the buffer goes to chip `c`.
     ///
@@ -106,12 +228,69 @@ impl DramRank {
         }
         let seg = self.geom.line_bytes_per_chip();
         let chip_row_bytes = self.geom.chip_row_bytes();
-        let init = self.cell_type(row).discharged_byte();
+        let row_bytes = self.geom.row_bytes();
+        let num_chips = self.geom.num_chips();
+        let pattern = self.cell_type(row).discharged_byte();
+        let (word_off, mask) = ((row.0 / 64) as usize, 1u64 << (row.0 % 64));
+        let words_per_chip = self.words_per_chip;
+        let BankStore { rows, charged } = &mut self.banks[bank.0];
+        let store = rows
+            .entry(row.0)
+            .or_insert_with(|| RowStore::fresh(pattern, row_bytes, num_chips));
         for (c, segment) in chip_major.chunks_exact(seg).enumerate() {
-            let store = self.chips[c].banks[bank.0]
-                .entry(row.0)
-                .or_insert_with(|| vec![init; chip_row_bytes].into_boxed_slice());
-            store[slot * seg..(slot + 1) * seg].copy_from_slice(segment);
+            store.written |= 1u128 << c;
+            let before = store.charged_count(row_bytes, c);
+            let mut count = i64::from(before);
+            let base = c * chip_row_bytes + slot * seg;
+            let dst = &mut store.bytes[base..base + seg];
+            for (d, &s) in dst.iter_mut().zip(segment.iter()) {
+                count += i64::from(s != pattern) - i64::from(*d != pattern);
+                *d = s;
+            }
+            store.set_charged_count(row_bytes, c, count as u32);
+            // Flip the packed bit only on zero-crossings of the per-chip
+            // charged-byte count.
+            if before == 0 && count > 0 {
+                charged[c * words_per_chip + word_off] |= mask;
+            } else if before > 0 && count == 0 {
+                charged[c * words_per_chip + word_off] &= !mask;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads the encoded, chip-major cacheline stored in `slot` of
+    /// (`bank`, `row`) into `line` (cleared and refilled; capacity is
+    /// reused across calls).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::AddressOutOfRange`] if bank/row/slot are out of
+    /// range.
+    pub fn read_encoded_line_into(
+        &self,
+        bank: BankId,
+        row: RowIndex,
+        slot: usize,
+        line: &mut Vec<u8>,
+    ) -> Result<()> {
+        self.check_location(bank, row, slot)?;
+        let seg = self.geom.line_bytes_per_chip();
+        let chip_row_bytes = self.geom.chip_row_bytes();
+        line.clear();
+        match self.banks[bank.0].rows.get(&row.0) {
+            Some(store) => {
+                // Never-written chip regions hold the discharged pattern
+                // by construction, so one image serves every chip.
+                for c in 0..self.geom.num_chips() {
+                    let base = c * chip_row_bytes + slot * seg;
+                    line.extend_from_slice(&store.bytes[base..base + seg]);
+                }
+            }
+            None => {
+                let pattern = self.cell_type(row).discharged_byte();
+                line.resize(self.geom.line_bytes(), pattern);
+            }
         }
         Ok(())
     }
@@ -124,30 +303,50 @@ impl DramRank {
     /// Returns [`Error::AddressOutOfRange`] if bank/row/slot are out of
     /// range.
     pub fn read_encoded_line(&self, bank: BankId, row: RowIndex, slot: usize) -> Result<Vec<u8>> {
-        self.check_location(bank, row, slot)?;
-        let seg = self.geom.line_bytes_per_chip();
-        let init = self.cell_type(row).discharged_byte();
-        let mut line = vec![0u8; self.geom.line_bytes()];
-        for (c, segment) in line.chunks_exact_mut(seg).enumerate() {
-            match self.chips[c].banks[bank.0].get(&row.0) {
-                Some(store) => segment.copy_from_slice(&store[slot * seg..(slot + 1) * seg]),
-                None => segment.fill(init),
-            }
-        }
+        let mut line = Vec::with_capacity(self.geom.line_bytes());
+        self.read_encoded_line_into(bank, row, slot, &mut line)?;
         Ok(line)
     }
 
     /// The wired-OR discharged check of §IV-B for one chip-row: true iff
-    /// every cell of the row is discharged.
+    /// every cell of the row is discharged. One packed-bitmap probe.
     ///
     /// # Panics
     ///
     /// Panics if `chip`, `bank` or `row` are out of range.
     pub fn chip_row_is_discharged(&self, chip: ChipId, bank: BankId, row: RowIndex) -> bool {
+        assert!(chip.0 < self.geom.num_chips(), "chip out of range");
+        assert!(row.0 < self.geom.rows_per_bank(), "row out of range");
+        #[cfg(any(test, feature = "scalar-oracle"))]
+        if self.force_scalar {
+            return self.scalar_chip_row_is_discharged(chip, bank, row);
+        }
+        let (word, mask) = self.charged_locus(chip.0, row.0);
+        let packed = self.banks[bank.0].charged[word] & mask == 0;
+        #[cfg(any(test, feature = "scalar-oracle"))]
+        debug_assert_eq!(
+            packed,
+            self.scalar_chip_row_is_discharged(chip, bank, row),
+            "packed bitmap diverges from byte scan at chip {} bank {} row {}",
+            chip.0,
+            bank.0,
+            row.0
+        );
+        packed
+    }
+
+    /// The retained per-cell reference path: scan the stored bytes
+    /// against the discharged pattern (absent rows are discharged by
+    /// construction).
+    #[cfg(any(test, feature = "scalar-oracle"))]
+    fn scalar_chip_row_is_discharged(&self, chip: ChipId, bank: BankId, row: RowIndex) -> bool {
         let pattern = self.cell_type(row).discharged_byte();
-        match self.chips[chip.0].banks[bank.0].get(&row.0) {
-            Some(store) => store.iter().all(|&b| b == pattern),
-            None => true, // never written since cleansing: fully discharged
+        let crb = self.geom.chip_row_bytes();
+        match self.banks[bank.0].rows.get(&row.0) {
+            Some(store) => store.bytes[chip.0 * crb..(chip.0 + 1) * crb]
+                .iter()
+                .all(|&b| b == pattern),
+            None => true,
         }
     }
 
@@ -160,8 +359,14 @@ impl DramRank {
     /// Returns [`Error::AddressOutOfRange`] if bank/row are out of range.
     pub fn cleanse_row(&mut self, bank: BankId, row: RowIndex) -> Result<()> {
         self.check_location(bank, row, 0)?;
-        for chip in &mut self.chips {
-            chip.banks[bank.0].remove(&row.0);
+        let num_chips = self.geom.num_chips();
+        let (word_off, mask) = ((row.0 / 64) as usize, 1u64 << (row.0 % 64));
+        let words_per_chip = self.words_per_chip;
+        let BankStore { rows, charged } = &mut self.banks[bank.0];
+        if rows.remove(&row.0).is_some() {
+            for c in 0..num_chips {
+                charged[c * words_per_chip + word_off] &= !mask;
+            }
         }
         Ok(())
     }
@@ -180,17 +385,32 @@ impl DramRank {
         row: RowIndex,
     ) -> Result<()> {
         self.check_location(bank, row, 0)?;
-        let pattern = !self.cell_type(row).discharged_byte();
-        let bytes = vec![pattern; self.geom.chip_row_bytes()].into_boxed_slice();
-        self.chips[chip.0].banks[bank.0].insert(row.0, bytes);
+        let pattern = self.cell_type(row).discharged_byte();
+        let crb = self.geom.chip_row_bytes();
+        let row_bytes = self.geom.row_bytes();
+        let num_chips = self.geom.num_chips();
+        let (word, mask) = self.charged_locus(chip.0, row.0);
+        let BankStore { rows, charged } = &mut self.banks[bank.0];
+        let store = rows
+            .entry(row.0)
+            .or_insert_with(|| RowStore::fresh(pattern, row_bytes, num_chips));
+        store.written |= 1u128 << chip.0;
+        store.bytes[chip.0 * crb..(chip.0 + 1) * crb].fill(!pattern);
+        store.set_charged_count(row_bytes, chip.0, crb as u32);
+        charged[word] |= mask;
         Ok(())
     }
 
     /// Number of chip-rows currently holding explicit (written) storage.
     pub fn resident_chip_rows(&self) -> usize {
-        self.chips
+        self.banks
             .iter()
-            .map(|c| c.banks.iter().map(HashMap::len).sum::<usize>())
+            .map(|b| {
+                b.rows
+                    .values()
+                    .map(|s| s.written.count_ones() as usize)
+                    .sum::<usize>()
+            })
             .sum()
     }
 
@@ -203,18 +423,44 @@ impl DramRank {
     }
 
     /// Counts discharged chip-rows in one bank (across all chips) — the
-    /// per-bank end-of-window state the xray capture records.
+    /// per-bank end-of-window state the xray capture records. A popcount
+    /// loop over the packed bitmap.
     pub fn count_discharged_chip_rows_in_bank(&self, bank: BankId) -> u64 {
-        let rows = self.geom.rows_per_bank();
-        let mut discharged = 0u64;
-        for chip in 0..self.geom.num_chips() {
-            let written = &self.chips[chip].banks[bank.0];
-            // Absent rows are discharged by construction.
-            discharged += rows - written.len() as u64;
-            for (&row, store) in written {
-                let pattern = self.cell_type(RowIndex(row)).discharged_byte();
-                if store.iter().all(|&b| b == pattern) {
-                    discharged += 1;
+        #[cfg(any(test, feature = "scalar-oracle"))]
+        if self.force_scalar {
+            return self.scalar_count_discharged_chip_rows_in_bank(bank);
+        }
+        let total = self.geom.rows_per_bank() * self.geom.num_chips() as u64;
+        let charged: u64 = self.banks[bank.0]
+            .charged
+            .iter()
+            .map(|w| u64::from(w.count_ones()))
+            .sum();
+        let packed = total - charged;
+        #[cfg(any(test, feature = "scalar-oracle"))]
+        debug_assert_eq!(
+            packed,
+            self.scalar_count_discharged_chip_rows_in_bank(bank),
+            "packed popcount diverges from byte scan in bank {}",
+            bank.0
+        );
+        packed
+    }
+
+    /// The retained per-cell reference count: absent chip-rows are
+    /// discharged; resident ones are byte-scanned.
+    #[cfg(any(test, feature = "scalar-oracle"))]
+    fn scalar_count_discharged_chip_rows_in_bank(&self, bank: BankId) -> u64 {
+        let crb = self.geom.chip_row_bytes();
+        let mut discharged = self.geom.rows_per_bank() * self.geom.num_chips() as u64;
+        for (&row, store) in &self.banks[bank.0].rows {
+            let pattern = self.cell_type(RowIndex(row)).discharged_byte();
+            for c in 0..self.geom.num_chips() {
+                if !store.bytes[c * crb..(c + 1) * crb]
+                    .iter()
+                    .all(|&b| b == pattern)
+                {
+                    discharged -= 1;
                 }
             }
         }
@@ -401,5 +647,185 @@ mod tests {
         assert!(per_bank
             .iter()
             .all(|&d| d == full_bank - g.num_chips() as u64));
+    }
+
+    // --- packed-bitmap specific behaviour -------------------------------
+
+    #[test]
+    fn overwrite_with_pattern_clears_packed_bit_again() {
+        // Charge a segment, then overwrite the same slot with the
+        // discharged pattern: the zero-crossing must clear the bit.
+        let mut r = rank();
+        let line = vec![0x5Au8; 64];
+        r.write_encoded_line(BankId(0), RowIndex(2), 1, &line)
+            .unwrap();
+        assert!(!r.chip_row_is_discharged(ChipId(3), BankId(0), RowIndex(2)));
+        let zeros = vec![0u8; 64];
+        r.write_encoded_line(BankId(0), RowIndex(2), 1, &zeros)
+            .unwrap();
+        for c in 0..8 {
+            assert!(r.chip_row_is_discharged(ChipId(c), BankId(0), RowIndex(2)));
+        }
+        // The row stays resident (written != cleansed) yet fully
+        // discharged — exactly the state the popcount must report.
+        assert_eq!(r.resident_chip_rows(), 8);
+        let g = r.geometry().clone();
+        assert_eq!(
+            r.count_discharged_chip_rows(),
+            g.rows_per_bank() * g.num_banks() as u64 * g.num_chips() as u64
+        );
+    }
+
+    #[test]
+    fn packed_and_scalar_paths_agree_under_mixed_traffic() {
+        let mut r = rank();
+        let g = r.geometry().clone();
+        // A deterministic mix of charging writes, pattern rewrites,
+        // cleanses and forced charges.
+        for i in 0..200u64 {
+            let bank = BankId((i % g.num_banks() as u64) as usize);
+            let row = RowIndex((i * 7) % g.rows_per_bank());
+            let slot = (i % g.lines_per_row() as u64) as usize;
+            match i % 5 {
+                0 | 1 => {
+                    let line = vec![(i % 251) as u8 + 1; 64];
+                    r.write_encoded_line(bank, row, slot, &line).unwrap();
+                }
+                2 => {
+                    let pattern = r.cell_type(row).discharged_byte();
+                    let line = vec![pattern; 64];
+                    r.write_encoded_line(bank, row, slot, &line).unwrap();
+                }
+                3 => r.cleanse_row(bank, row).unwrap(),
+                _ => r
+                    .force_charge_chip_row(ChipId((i % 8) as usize), bank, row)
+                    .unwrap(),
+            }
+        }
+        let packed: Vec<u64> = (0..g.num_banks())
+            .map(|b| r.count_discharged_chip_rows_in_bank(BankId(b)))
+            .collect();
+        r.set_force_scalar(true);
+        let scalar: Vec<u64> = (0..g.num_banks())
+            .map(|b| r.count_discharged_chip_rows_in_bank(BankId(b)))
+            .collect();
+        assert_eq!(packed, scalar);
+        for bank in 0..g.num_banks() {
+            for row in 0..g.rows_per_bank() {
+                for chip in 0..g.num_chips() {
+                    r.set_force_scalar(true);
+                    let s = r.chip_row_is_discharged(ChipId(chip), BankId(bank), RowIndex(row));
+                    r.set_force_scalar(false);
+                    let p = r.chip_row_is_discharged(ChipId(chip), BankId(bank), RowIndex(row));
+                    assert_eq!(p, s, "bank {bank} row {row} chip {chip}");
+                }
+            }
+        }
+    }
+
+    /// A rank with `rows_per_bank` rows (power of two, may be smaller
+    /// than one 64-bit bitmap word) across `num_banks` banks.
+    fn tiny_rank(rows_per_bank: u64, num_banks: usize) -> DramRank {
+        let mut cfg = SystemConfig::small_test();
+        cfg.dram.num_banks = num_banks;
+        cfg.dram.capacity_bytes = num_banks as u64 * rows_per_bank * cfg.dram.row_bytes as u64;
+        cfg.dram.cell_block_rows = (rows_per_bank / 2).max(1);
+        DramRank::new(&cfg).unwrap()
+    }
+
+    #[test]
+    fn rows_below_word_width_count_exactly() {
+        // 16 rows per bank: the bitmap word is 3/4 padding. Padding bits
+        // must never be counted as charged or discharged.
+        for rows in [2u64, 4, 16, 32] {
+            let mut r = tiny_rank(rows, 2);
+            let g = r.geometry().clone();
+            let full = rows * g.num_banks() as u64 * g.num_chips() as u64;
+            assert_eq!(r.count_discharged_chip_rows(), full, "{rows} rows fresh");
+            let line = vec![0xA7u8; g.line_bytes()];
+            for row in 0..rows {
+                r.write_encoded_line(BankId(0), RowIndex(row), 0, &line)
+                    .unwrap();
+            }
+            // Every chip-row of bank 0 charged, bank 1 untouched.
+            assert_eq!(
+                r.count_discharged_chip_rows_in_bank(BankId(0)),
+                0,
+                "{rows} rows charged"
+            );
+            assert_eq!(
+                r.count_discharged_chip_rows_in_bank(BankId(1)),
+                rows * g.num_chips() as u64
+            );
+            for row in 0..rows {
+                r.cleanse_row(BankId(0), RowIndex(row)).unwrap();
+            }
+            assert_eq!(r.count_discharged_chip_rows(), full, "{rows} rows cleansed");
+        }
+    }
+
+    #[test]
+    fn single_row_banks_track_charge_per_bank() {
+        let mut r = tiny_rank(1, 4);
+        let g = r.geometry().clone();
+        let line = vec![0x5Cu8; g.line_bytes()];
+        r.write_encoded_line(BankId(2), RowIndex(0), 0, &line)
+            .unwrap();
+        for bank in 0..4 {
+            let expected = if bank == 2 { 0 } else { g.num_chips() as u64 };
+            assert_eq!(
+                r.count_discharged_chip_rows_in_bank(BankId(bank)),
+                expected,
+                "bank {bank}"
+            );
+            assert_eq!(
+                r.chip_row_is_discharged(ChipId(0), BankId(bank), RowIndex(0)),
+                bank != 2
+            );
+        }
+        r.cleanse_row(BankId(2), RowIndex(0)).unwrap();
+        assert_eq!(r.count_discharged_chip_rows(), 4 * g.num_chips() as u64);
+    }
+
+    #[test]
+    fn spared_row_forced_charged_counts_as_charged() {
+        // Sparing is a refresh-engine decision; the rank's packed bitmap
+        // must still report the true charge state of a spared row.
+        let mut r = tiny_rank(4, 2);
+        let g = r.geometry().clone();
+        r.add_spared_row(BankId(1), RowIndex(3));
+        r.force_charge_chip_row(ChipId(5), BankId(1), RowIndex(3))
+            .unwrap();
+        assert!(r.is_spared(BankId(1), RowIndex(3)));
+        assert!(!r.chip_row_is_discharged(ChipId(5), BankId(1), RowIndex(3)));
+        assert!(r.chip_row_is_discharged(ChipId(4), BankId(1), RowIndex(3)));
+        assert_eq!(
+            r.count_discharged_chip_rows_in_bank(BankId(1)),
+            4 * g.num_chips() as u64 - 1
+        );
+        // Cleansing restores discharge but not the sparing mark.
+        r.cleanse_row(BankId(1), RowIndex(3)).unwrap();
+        assert!(r.chip_row_is_discharged(ChipId(5), BankId(1), RowIndex(3)));
+        assert!(r.is_spared(BankId(1), RowIndex(3)));
+    }
+
+    #[test]
+    fn never_written_rank_answers_from_the_fast_path() {
+        // A fresh tiny rank holds no row stores: every discharge answer
+        // comes straight from the (all-charged-bits-clear) bitmap.
+        let r = tiny_rank(16, 2);
+        let g = r.geometry().clone();
+        assert_eq!(r.resident_chip_rows(), 0);
+        for bank in 0..g.num_banks() {
+            for row in 0..g.rows_per_bank() {
+                for chip in 0..g.num_chips() {
+                    assert!(r.chip_row_is_discharged(ChipId(chip), BankId(bank), RowIndex(row)));
+                }
+            }
+        }
+        assert_eq!(
+            r.count_discharged_chip_rows(),
+            16 * g.num_banks() as u64 * g.num_chips() as u64
+        );
     }
 }

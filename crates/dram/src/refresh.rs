@@ -15,6 +15,7 @@
 
 use std::sync::Arc;
 
+use crate::arena::SweepArena;
 use crate::rank::DramRank;
 use crate::tracking::{AccessBitTable, DischargedStatusTable, NaiveSramTracker};
 use zr_telemetry::{fraction_bounds, Counter, Event, Histogram, Telemetry};
@@ -678,7 +679,23 @@ impl RefreshEngine {
     /// Runs one full retention window: every AR set of every bank once
     /// (as per-bank or all-bank commands, per the configured granularity).
     /// Returns the statistics of just this window.
+    ///
+    /// One-off convenience wrapper around [`RefreshEngine::run_window_with`]
+    /// with a throwaway arena (which costs nothing: the engine's loops are
+    /// allocation-free by construction, so an empty arena never grows here).
+    /// Sweep drivers should pass their own long-lived [`SweepArena`].
     pub fn run_window(&mut self, rank: &mut DramRank) -> WindowStats {
+        self.run_window_with(rank, &mut SweepArena::new())
+    }
+
+    /// Runs one full retention window against the caller's sweep arena.
+    ///
+    /// The engine resets the arena on entry ([`SweepArena::begin_window`],
+    /// reset-not-freed), making the window boundary the canonical point
+    /// where per-write scratch lengths return to zero while capacity is
+    /// retained for the next window's write traffic.
+    pub fn run_window_with(&mut self, rank: &mut DramRank, arena: &mut SweepArena) -> WindowStats {
+        arena.begin_window();
         let span = self.telemetry.span("refresh.window");
         if self.trace.is_active() {
             let mut rec = TraceRecord::new(RecordKind::WindowStart, self.engine_id);
@@ -809,10 +826,7 @@ mod tests {
         assert_eq!(discharged, 2 * per_window);
         // End-of-window bank state was captured for both windows and
         // shows every bank fully discharged.
-        assert_eq!(
-            e.bank_discharged.len(),
-            2 * rank.geometry().num_banks()
-        );
+        assert_eq!(e.bank_discharged.len(), 2 * rank.geometry().num_banks());
         let full_bank = rank.geometry().rows_per_bank() * rank.geometry().num_chips() as u64;
         assert!(e
             .bank_discharged

@@ -98,8 +98,14 @@ impl AccessBitTable {
 /// its energy analysis.
 #[derive(Debug, Clone)]
 pub struct DischargedStatusTable {
-    /// `bits[chip][bank]` is a bitmap over rows.
-    bits: Vec<Vec<Vec<u64>>>,
+    /// One flat word-packed plane, `[chip][bank][word]` strided: chip `c`,
+    /// bank `b` starts at `(c * num_banks + b) * words_per_bank`. A single
+    /// contiguous allocation instead of the old `Vec<Vec<Vec<u64>>>` —
+    /// same bit layout per bank, friendlier to the sweep's access pattern.
+    bits: Vec<u64>,
+    words_per_bank: usize,
+    num_chips: usize,
+    num_banks: usize,
     rows_per_bank: u64,
     reads: u64,
     writes: u64,
@@ -110,11 +116,12 @@ impl DischargedStatusTable {
     /// stale "charged" only costs a refresh, a stale "discharged" would
     /// lose data).
     pub fn new(geom: &Geometry) -> Self {
-        let words = (geom.rows_per_bank() as usize).div_ceil(64);
+        let words_per_bank = (geom.rows_per_bank() as usize).div_ceil(64);
         DischargedStatusTable {
-            bits: (0..geom.num_chips())
-                .map(|_| (0..geom.num_banks()).map(|_| vec![0u64; words]).collect())
-                .collect(),
+            bits: vec![0u64; geom.num_chips() * geom.num_banks() * words_per_bank],
+            words_per_bank,
+            num_chips: geom.num_chips(),
+            num_banks: geom.num_banks(),
             rows_per_bank: geom.rows_per_bank(),
             reads: 0,
             writes: 0,
@@ -123,7 +130,14 @@ impl DischargedStatusTable {
 
     /// Size of the table in DRAM bits: one bit per chip-row.
     pub fn bit_count(&self) -> u64 {
-        self.bits.len() as u64 * self.bits[0].len() as u64 * self.rows_per_bank
+        self.num_chips as u64 * self.num_banks as u64 * self.rows_per_bank
+    }
+
+    fn word_index(&self, chip: ChipId, bank: BankId, row: RowIndex) -> usize {
+        assert!(chip.0 < self.num_chips, "chip out of range");
+        assert!(bank.0 < self.num_banks, "bank out of range");
+        assert!(row.0 < self.rows_per_bank, "row out of range");
+        (chip.0 * self.num_banks + bank.0) * self.words_per_bank + (row.0 / 64) as usize
     }
 
     /// Reads the stored status of one chip-row *without* counting a table
@@ -133,8 +147,7 @@ impl DischargedStatusTable {
     ///
     /// Panics if indices are out of range.
     pub fn get(&self, chip: ChipId, bank: BankId, row: RowIndex) -> bool {
-        assert!(row.0 < self.rows_per_bank, "row out of range");
-        self.bits[chip.0][bank.0][(row.0 / 64) as usize] >> (row.0 % 64) & 1 == 1
+        self.bits[self.word_index(chip, bank, row)] >> (row.0 % 64) & 1 == 1
     }
 
     /// Stores the status of one chip-row *without* counting a table access
@@ -144,8 +157,8 @@ impl DischargedStatusTable {
     ///
     /// Panics if indices are out of range.
     pub fn set(&mut self, chip: ChipId, bank: BankId, row: RowIndex, discharged: bool) {
-        assert!(row.0 < self.rows_per_bank, "row out of range");
-        let word = &mut self.bits[chip.0][bank.0][(row.0 / 64) as usize];
+        let idx = self.word_index(chip, bank, row);
+        let word = &mut self.bits[idx];
         if discharged {
             *word |= 1u64 << (row.0 % 64);
         } else {
@@ -187,8 +200,11 @@ impl DischargedStatusTable {
 /// chips are discharged, unlike the per-chip in-DRAM table.
 #[derive(Debug, Clone)]
 pub struct NaiveSramTracker {
-    /// `bits[bank]` is a bitmap over rank-rows.
-    bits: Vec<Vec<u64>>,
+    /// One flat word-packed bitmap over rank-rows, strided per bank
+    /// (bank `b` starts at `b * words_per_bank`).
+    bits: Vec<u64>,
+    words_per_bank: usize,
+    num_banks: usize,
     rows_per_bank: u64,
     updates: u64,
 }
@@ -197,11 +213,11 @@ impl NaiveSramTracker {
     /// Builds the tracker for a geometry, all rows initially discharged —
     /// the naive design can start accurate because it observes every write.
     pub fn new(geom: &Geometry) -> Self {
-        let words = (geom.rows_per_bank() as usize).div_ceil(64);
+        let words_per_bank = (geom.rows_per_bank() as usize).div_ceil(64);
         NaiveSramTracker {
-            bits: (0..geom.num_banks())
-                .map(|_| vec![u64::MAX; words])
-                .collect(),
+            bits: vec![u64::MAX; geom.num_banks() * words_per_bank],
+            words_per_bank,
+            num_banks: geom.num_banks(),
             rows_per_bank: geom.rows_per_bank(),
             updates: 0,
         }
@@ -210,7 +226,13 @@ impl NaiveSramTracker {
     /// SRAM size in bytes: one bit per rank-row, the paper's accounting
     /// ("more than 8.3 million rows which require a 1 MB SRAM", §IV-B).
     pub fn size_bytes(&self) -> u64 {
-        (self.bits.len() as u64 * self.rows_per_bank).div_ceil(8)
+        (self.num_banks as u64 * self.rows_per_bank).div_ceil(8)
+    }
+
+    fn word_index(&self, bank: BankId, row: RowIndex) -> usize {
+        assert!(bank.0 < self.num_banks, "bank out of range");
+        assert!(row.0 < self.rows_per_bank, "row out of range");
+        bank.0 * self.words_per_bank + (row.0 / 64) as usize
     }
 
     /// Updates the status of one rank-row after a write (one SRAM write
@@ -220,8 +242,8 @@ impl NaiveSramTracker {
     ///
     /// Panics if `bank` or `row` are out of range.
     pub fn record_write(&mut self, bank: BankId, row: RowIndex, discharged: bool) {
-        assert!(row.0 < self.rows_per_bank, "row out of range");
-        let word = &mut self.bits[bank.0][(row.0 / 64) as usize];
+        let idx = self.word_index(bank, row);
+        let word = &mut self.bits[idx];
         if discharged {
             *word |= 1u64 << (row.0 % 64);
         } else {
@@ -236,8 +258,7 @@ impl NaiveSramTracker {
     ///
     /// Panics if `bank` or `row` are out of range.
     pub fn is_discharged(&self, bank: BankId, row: RowIndex) -> bool {
-        assert!(row.0 < self.rows_per_bank, "row out of range");
-        self.bits[bank.0][(row.0 / 64) as usize] >> (row.0 % 64) & 1 == 1
+        self.bits[self.word_index(bank, row)] >> (row.0 % 64) & 1 == 1
     }
 
     /// Number of SRAM update events.

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use zr_dram::{DramRank, RefreshEngine, RefreshPolicy, WindowStats};
+use zr_dram::{DramRank, RefreshEngine, RefreshPolicy, SweepArena, WindowStats};
 use zr_telemetry::{Counter, Telemetry};
 use zr_trace::{RecordKind, TraceRecord, TraceRecorder, SRC_MEMCTRL};
 use zr_transform::ValueTransformer;
@@ -57,6 +57,10 @@ pub struct MemoryController {
     telemetry: Arc<Telemetry>,
     metrics: ControllerMetrics,
     trace: Arc<TraceRecorder>,
+    /// Fallback scratch for callers of the arena-less convenience API.
+    /// Sweep drivers bypass it by passing their own [`SweepArena`] to the
+    /// `_with` variants.
+    arena: SweepArena,
 }
 
 impl MemoryController {
@@ -76,6 +80,7 @@ impl MemoryController {
             telemetry: Telemetry::current(),
             metrics: ControllerMetrics::new(&Telemetry::current()),
             trace: TraceRecorder::current(),
+            arena: SweepArena::new(),
         })
     }
 
@@ -144,11 +149,34 @@ impl MemoryController {
     /// Returns [`Error::BadLength`] for a wrong-sized buffer or
     /// [`Error::AddressOutOfRange`] for an address beyond the capacity.
     pub fn write_line(&mut self, addr: LineAddr, data: &[u8]) -> Result<()> {
+        let mut arena = std::mem::take(&mut self.arena);
+        let out = self.write_line_with(addr, data, &mut arena);
+        self.arena = arena;
+        out
+    }
+
+    /// [`Self::write_line`] against the caller's sweep arena: the line is
+    /// staged in `arena.line` and encoded in place with `arena.deltas` as
+    /// bitplane scratch, so a warm arena makes the whole write path
+    /// allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::write_line`].
+    pub fn write_line_with(
+        &mut self,
+        addr: LineAddr,
+        data: &[u8],
+        arena: &mut SweepArena,
+    ) -> Result<()> {
         let _span = self.telemetry.span("memctrl.write");
         let loc = self.geom.locate(addr)?;
-        let encoded = self.transformer.encode(data, loc.row)?;
+        arena.line.clear();
+        arena.line.extend_from_slice(data);
+        self.transformer
+            .encode_in_place_with(&mut arena.line, loc.row, &mut arena.deltas)?;
         self.rank
-            .write_encoded_line(loc.bank, loc.row, loc.slot, &encoded)?;
+            .write_encoded_line(loc.bank, loc.row, loc.slot, &arena.line)?;
         self.engine.note_write(&self.rank, loc.bank, loc.row);
         self.stats.writes += 1;
         self.metrics.writes.inc();
@@ -169,10 +197,27 @@ impl MemoryController {
     /// Returns [`Error::AddressOutOfRange`] for an address beyond the
     /// capacity.
     pub fn read_line(&mut self, addr: LineAddr) -> Result<Vec<u8>> {
+        let mut arena = std::mem::take(&mut self.arena);
+        let out = self.read_line_with(addr, &mut arena);
+        self.arena = arena;
+        out
+    }
+
+    /// [`Self::read_line`] against the caller's sweep arena: the stored
+    /// line is read into `arena.line` and decoded in place; only the
+    /// returned copy allocates.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::read_line`].
+    pub fn read_line_with(&mut self, addr: LineAddr, arena: &mut SweepArena) -> Result<Vec<u8>> {
         let _span = self.telemetry.span("memctrl.read");
         let loc = self.geom.locate(addr)?;
-        let encoded = self.rank.read_encoded_line(loc.bank, loc.row, loc.slot)?;
-        let line = self.transformer.decode(&encoded, loc.row)?;
+        self.rank
+            .read_encoded_line_into(loc.bank, loc.row, loc.slot, &mut arena.line)?;
+        self.transformer
+            .decode_in_place_with(&mut arena.line, loc.row, &mut arena.deltas)?;
+        let line = arena.line.clone();
         self.stats.reads += 1;
         self.metrics.reads.inc();
         if self.trace.is_active() {
@@ -243,7 +288,16 @@ impl MemoryController {
 
     /// Runs one refresh window (tRET) over the rank.
     pub fn run_refresh_window(&mut self) -> WindowStats {
-        self.engine.run_window(&mut self.rank)
+        let mut arena = std::mem::take(&mut self.arena);
+        let out = self.run_refresh_window_with(&mut arena);
+        self.arena = arena;
+        out
+    }
+
+    /// [`Self::run_refresh_window`] against the caller's sweep arena,
+    /// which the engine resets (not frees) at the window boundary.
+    pub fn run_refresh_window_with(&mut self, arena: &mut SweepArena) -> WindowStats {
+        self.engine.run_window_with(&mut self.rank, arena)
     }
 
     /// Locates a line address (exposed for experiment drivers).

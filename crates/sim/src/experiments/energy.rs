@@ -3,11 +3,12 @@
 //! leakage).
 
 use zero_refresh::EnergyAccountant;
-use zr_dram::{RefreshPolicy, WindowStats};
+use zr_dram::{RefreshPolicy, SweepArena, WindowStats};
 use zr_types::geometry::LineAddr;
 use zr_types::Result;
 use zr_workloads::image::LINES_PER_REGION;
 use zr_workloads::trace::TraceGenerator;
+use zr_workloads::trace::TraceWrite;
 use zr_workloads::Benchmark;
 
 use super::population::build_system;
@@ -49,19 +50,22 @@ pub fn measure(
         LINES_PER_REGION,
         benchmark.derive_seed(exp.seed) ^ 0xACCE55,
     );
-    ps.system.run_refresh_window(); // unmeasured scan
+    let mut arena = SweepArena::new();
+    let mut writes: Vec<TraceWrite> = Vec::new();
+    ps.system.run_refresh_window_with(&mut arena); // unmeasured scan
 
     let totals0 = ps.system.controller().engine().totals();
     let ebdi0 = ps.system.access_stats().ebdi_operations();
     let mut stats = WindowStats::default();
     let mut trace_writes = 0u64;
     for _ in 0..exp.windows {
-        for w in trace.window_writes(exp.window_scale()) {
+        trace.window_writes_into(exp.window_scale(), &mut writes);
+        for w in &writes {
             let line = LineAddr(w.page * LINES_PER_REGION as u64 + w.line_in_page as u64);
-            ps.system.write_line(line, &w.data)?;
+            ps.system.write_line_with(line, &w.data, &mut arena)?;
             trace_writes += 1;
         }
-        stats.accumulate(&ps.system.run_refresh_window());
+        stats.accumulate(&ps.system.run_refresh_window_with(&mut arena));
     }
     let totals1 = ps.system.controller().engine().totals();
     let ebdi_writes = ps.system.access_stats().ebdi_operations() - ebdi0;

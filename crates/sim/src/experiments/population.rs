@@ -4,7 +4,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use zero_refresh::ZeroRefreshSystem;
-use zr_dram::RefreshPolicy;
+use zr_dram::{RefreshPolicy, SweepArena};
 use zr_types::geometry::LineAddr;
 use zr_types::Result;
 use zr_workloads::content::LineClass;
@@ -73,6 +73,7 @@ pub fn build_system_with(
     let profile = benchmark.profile();
     let classes = region_classes(&profile, allocated, benchmark.derive_seed(exp.seed));
     let mut rng = StdRng::seed_from_u64(benchmark.derive_seed(exp.seed) ^ 0xC0FFEE);
+    let mut arena = SweepArena::new();
     for (r, &class) in classes.iter().enumerate() {
         if matches!(class, LineClass::Zero) {
             continue; // cleansed rank already holds the zero image
@@ -80,7 +81,7 @@ pub fn build_system_with(
         let base = r as u64 * LINES_PER_REGION as u64;
         for i in 0..LINES_PER_REGION {
             let line = class.generate_line(&mut rng);
-            system.write_line(LineAddr(base + i as u64), &line)?;
+            system.write_line_with(LineAddr(base + i as u64), &line, &mut arena)?;
         }
     }
     Ok(PopulatedSystem {

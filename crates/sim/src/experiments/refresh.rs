@@ -1,11 +1,12 @@
 //! Refresh-reduction experiments: Fig. 14 (allocation scenarios),
 //! Fig. 16 (temperature) and Fig. 18 (row size).
 
-use zr_dram::{RefreshPolicy, WindowStats};
+use zr_dram::{RefreshPolicy, SweepArena, WindowStats};
 use zr_types::geometry::LineAddr;
 use zr_types::{Result, TemperatureMode};
 use zr_workloads::image::LINES_PER_REGION;
 use zr_workloads::trace::TraceGenerator;
+use zr_workloads::trace::TraceWrite;
 use zr_workloads::Benchmark;
 
 use super::population::build_system;
@@ -68,15 +69,18 @@ pub fn measure_with_policy(
     );
     // Scan window: populates the discharged-status table (unmeasured, as
     // the paper measures steady state).
-    ps.system.run_refresh_window();
+    let mut arena = SweepArena::new();
+    let mut writes: Vec<TraceWrite> = Vec::new();
+    ps.system.run_refresh_window_with(&mut arena);
     let mut stats = WindowStats::default();
     for _ in 0..exp.windows {
         let _window_span = telemetry.span("sim.window");
-        for w in trace.window_writes(exp.window_scale()) {
+        trace.window_writes_into(exp.window_scale(), &mut writes);
+        for w in &writes {
             let line = LineAddr(w.page * LINES_PER_REGION as u64 + w.line_in_page as u64);
-            ps.system.write_line(line, &w.data)?;
+            ps.system.write_line_with(line, &w.data, &mut arena)?;
         }
-        stats.accumulate(&ps.system.run_refresh_window());
+        stats.accumulate(&ps.system.run_refresh_window_with(&mut arena));
     }
     telemetry.emit(|| zr_telemetry::Event::ExperimentSummary {
         benchmark: benchmark.name(),

@@ -44,22 +44,42 @@ use zr_types::{CachelineConfig, Error, Result};
 /// # Ok::<(), zr_types::Error>(())
 /// ```
 pub fn transpose_in_place(line: &mut [u8], config: &CachelineConfig) -> Result<()> {
+    transpose_in_place_with(line, config, &mut Vec::new())
+}
+
+/// [`transpose_in_place`] with caller-provided delta scratch (cleared and
+/// refilled; capacity reused across calls) — the allocation-free form the
+/// sweep arena feeds. Output bytes are identical to the scratch-less form.
+///
+/// Instead of probing every (plane, delta) pair, only the *set* bits of
+/// each delta word are visited: post-EBDI deltas are mostly zeros, so the
+/// sparse walk does a small fraction of the dense work.
+///
+/// # Errors
+///
+/// Returns [`Error::BadLength`] if `line` does not match the configured
+/// cacheline size.
+pub fn transpose_in_place_with(
+    line: &mut [u8],
+    config: &CachelineConfig,
+    scratch: &mut Vec<u64>,
+) -> Result<()> {
     check_len(line, config)?;
     let wb = config.word_bytes;
-    let deltas = read_deltas(line, config);
-    let d_count = deltas.len();
+    read_deltas_into(line, config, scratch);
+    let d_count = scratch.len();
     let bits = wb * 8;
     let region = &mut line[wb..];
     region.fill(0);
     // Output bit index (p * D + d) takes bit (bits-1-p) of delta d:
     // plane 0 collects the MSBs, the final plane the LSBs.
-    for p in 0..bits {
-        for (d, &delta) in deltas.iter().enumerate() {
-            let bit = (delta >> (bits - 1 - p)) & 1;
-            if bit == 1 {
-                let idx = p * d_count + d;
-                region[idx / 8] |= 0x80 >> (idx % 8);
-            }
+    for (d, &delta) in scratch.iter().enumerate() {
+        let mut rem = delta;
+        while rem != 0 {
+            let z = rem.trailing_zeros() as usize; // source bit => plane bits-1-z
+            let idx = (bits - 1 - z) * d_count + d;
+            region[idx / 8] |= 0x80 >> (idx % 8);
+            rem &= rem - 1;
         }
     }
     Ok(())
@@ -72,24 +92,41 @@ pub fn transpose_in_place(line: &mut [u8], config: &CachelineConfig) -> Result<(
 /// Returns [`Error::BadLength`] if `line` does not match the configured
 /// cacheline size.
 pub fn untranspose_in_place(line: &mut [u8], config: &CachelineConfig) -> Result<()> {
+    untranspose_in_place_with(line, config, &mut Vec::new())
+}
+
+/// [`untranspose_in_place`] with caller-provided delta scratch — the
+/// allocation-free form the sweep arena feeds. Walks only the non-zero
+/// region bytes, skipping the zero planes the transposition concentrates.
+///
+/// # Errors
+///
+/// Returns [`Error::BadLength`] if `line` does not match the configured
+/// cacheline size.
+pub fn untranspose_in_place_with(
+    line: &mut [u8],
+    config: &CachelineConfig,
+    scratch: &mut Vec<u64>,
+) -> Result<()> {
     check_len(line, config)?;
     let wb = config.word_bytes;
     let bits = wb * 8;
     let d_count = config.words_per_line() - 1;
-    let mut deltas = vec![0u64; d_count];
+    scratch.clear();
+    scratch.resize(d_count, 0);
     {
         let region = &line[wb..];
-        for p in 0..bits {
-            for (d, delta) in deltas.iter_mut().enumerate() {
-                let idx = p * d_count + d;
-                let bit = (region[idx / 8] >> (7 - idx % 8)) & 1;
-                if bit == 1 {
-                    *delta |= 1u64 << (bits - 1 - p);
-                }
+        for (i, &byte) in region.iter().enumerate() {
+            let mut rem = byte;
+            while rem != 0 {
+                let j = rem.leading_zeros() as usize; // MSB-first bit j of byte i
+                let idx = i * 8 + j;
+                scratch[idx % d_count] |= 1u64 << (bits - 1 - idx / d_count);
+                rem &= !(0x80u8 >> j);
             }
         }
     }
-    write_deltas(line, config, &deltas);
+    write_deltas(line, config, scratch);
     Ok(())
 }
 
@@ -103,16 +140,14 @@ fn check_len(line: &[u8], config: &CachelineConfig) -> Result<()> {
     Ok(())
 }
 
-fn read_deltas(line: &[u8], config: &CachelineConfig) -> Vec<u64> {
+fn read_deltas_into(line: &[u8], config: &CachelineConfig, out: &mut Vec<u64>) {
     let wb = config.word_bytes;
-    line[wb..]
-        .chunks_exact(wb)
-        .map(|c| {
-            let mut buf = [0u8; 8];
-            buf[..wb].copy_from_slice(c);
-            u64::from_le_bytes(buf)
-        })
-        .collect()
+    out.clear();
+    out.extend(line[wb..].chunks_exact(wb).map(|c| {
+        let mut buf = [0u8; 8];
+        buf[..wb].copy_from_slice(c);
+        u64::from_le_bytes(buf)
+    }));
 }
 
 fn write_deltas(line: &mut [u8], config: &CachelineConfig, deltas: &[u64]) {

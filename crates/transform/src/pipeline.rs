@@ -153,6 +153,22 @@ impl ValueTransformer {
     /// Returns [`zr_types::Error::BadLength`] if `line` does not match the
     /// configured cacheline size.
     pub fn encode_in_place(&self, line: &mut [u8], row: RowIndex) -> Result<()> {
+        self.encode_in_place_with(line, row, &mut Vec::new())
+    }
+
+    /// [`Self::encode_in_place`] with caller-provided bitplane scratch
+    /// (typically `SweepArena::deltas` from zr-dram) so a warm sweep
+    /// encodes without allocating. Output bytes are identical.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::encode_in_place`].
+    pub fn encode_in_place_with(
+        &self,
+        line: &mut [u8],
+        row: RowIndex,
+        scratch: &mut Vec<u64>,
+    ) -> Result<()> {
         let span = self.telemetry.span("transform.encode");
         let inverted = self.stages.cell_aware && self.cell_type(row) == CellType::Anti;
         // Charge-domain attribution: with the xray capture on, snapshot
@@ -182,7 +198,7 @@ impl ValueTransformer {
             stage_delta(0, line, &mut charged);
         }
         if self.stages.bit_plane {
-            bitplane::transpose_in_place(line, &self.line)?;
+            bitplane::transpose_in_place_with(line, &self.line, scratch)?;
             self.metrics.stage_bit_plane.inc();
             stage_delta(1, line, &mut charged);
         }
@@ -239,6 +255,22 @@ impl ValueTransformer {
     /// Returns [`zr_types::Error::BadLength`] if `line` does not match the
     /// configured cacheline size.
     pub fn decode_in_place(&self, line: &mut [u8], row: RowIndex) -> Result<()> {
+        self.decode_in_place_with(line, row, &mut Vec::new())
+    }
+
+    /// [`Self::decode_in_place`] with caller-provided bitplane scratch —
+    /// the allocation-free read-path counterpart of
+    /// [`Self::encode_in_place_with`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::decode_in_place`].
+    pub fn decode_in_place_with(
+        &self,
+        line: &mut [u8],
+        row: RowIndex,
+        scratch: &mut Vec<u64>,
+    ) -> Result<()> {
         let _span = self.telemetry.span("transform.decode");
         self.metrics.decode_calls.inc();
         if self.trace.is_active() {
@@ -255,7 +287,7 @@ impl ValueTransformer {
             invert(line);
         }
         if self.stages.bit_plane {
-            bitplane::untranspose_in_place(line, &self.line)?;
+            bitplane::untranspose_in_place_with(line, &self.line, scratch)?;
         }
         if self.stages.ebdi {
             ebdi::decode_in_place(line, &self.line)?;

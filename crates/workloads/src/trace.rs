@@ -108,10 +108,21 @@ impl TraceGenerator {
     /// (16 consecutive lines per touched page) to model in-place array
     /// updates.
     pub fn window_writes(&mut self, window_scale: f64) -> Vec<TraceWrite> {
+        let mut out = Vec::new();
+        self.window_writes_into(window_scale, &mut out);
+        out
+    }
+
+    /// [`Self::window_writes`] into a caller-owned buffer (cleared and
+    /// refilled; capacity reused across windows — the allocation-free
+    /// form sweep drivers use). The RNG draw sequence is identical to
+    /// [`Self::window_writes`], so traces are byte-identical either way.
+    pub fn window_writes_into(&mut self, window_scale: f64, out: &mut Vec<TraceWrite>) {
         let total = self.writes_per_window(window_scale);
-        let mut out = Vec::with_capacity(total as usize);
+        out.clear();
+        out.reserve(total as usize);
         if self.allocated_pages == 0 {
-            return out;
+            return;
         }
         const BURST: usize = 16;
         while (out.len() as u64) < total {
@@ -131,7 +142,6 @@ impl TraceGenerator {
                 });
             }
         }
-        out
     }
 
     /// The distinct rank-row-sized pages touched (read or written) in one
