@@ -68,9 +68,19 @@ pub fn experiment_config() -> ExperimentConfig {
 /// the telemetry output directory, else `xray-out/` (see
 /// `docs/XRAY.md`).
 ///
+/// After the exports, a run manifest (`manifest.json`, see
+/// `docs/LENS.md`) is written to the `ZR_LENS` directory when set,
+/// else the telemetry output directory: it records the figure name,
+/// the config hash ([`zr_sim::experiments::ExperimentConfig::canonical_string`]
+/// hashed with FNV-1a 64), seed, thread count, env knobs, the refresh
+/// counter deltas, and the path + length + checksum of every artifact
+/// the run registered. `zr-lens audit <manifest>` cross-checks the
+/// layers against each other afterwards.
+///
 /// On completion a one-line wall-time and throughput summary (chip-row
 /// refresh decisions and cacheline accesses per second, plus the sweep
-/// thread count) is printed to stderr as a single write. The counter
+/// thread count, the config hash and the manifest path when one was
+/// written) is printed to stderr as a single write. The counter
 /// deltas are taken on the harness telemetry instance *after* the pool
 /// has absorbed every worker's registry, so they aggregate across
 /// workers and are thread-count invariant.
@@ -92,12 +102,22 @@ pub fn run_figure<T>(name: &str, f: impl FnOnce() -> T) -> T {
     let out = f();
     let wall = start.elapsed();
     let after = telemetry.snapshot();
-    if let Some(dir) = zr_telemetry::output_dir() {
+    let telemetry_dir = zr_telemetry::output_dir();
+    if let Some(dir) = &telemetry_dir {
         telemetry.flush();
         let path = dir.join(format!("{name}_snapshot.json"));
         match telemetry.write_snapshot(&path) {
-            Ok(()) => eprintln!("[zr-bench] wrote {}", path.display()),
+            Ok(()) => {
+                eprintln!("[zr-bench] wrote {}", path.display());
+                // Snapshot histograms carry span wall times: volatile.
+                zr_lens::register_artifact("snapshot", path, true);
+            }
             Err(e) => eprintln!("[zr-bench] failed to write {}: {e}", path.display()),
+        }
+        let events = dir.join("events.jsonl");
+        if events.is_file() {
+            // Event lines are stamped with microsecond offsets: volatile.
+            zr_lens::register_artifact("events", events, true);
         }
     }
     let trace = zr_trace::TraceRecorder::current();
@@ -107,6 +127,11 @@ pub fn run_figure<T>(name: &str, f: impl FnOnce() -> T) -> T {
             "[zr-bench] finalized flight-recorder trace ({} records)",
             trace.recorded()
         );
+        if let Some(path) = zr_trace::env_trace_path() {
+            if path.is_file() {
+                zr_lens::register_artifact("trace", path, false);
+            }
+        }
     }
     let xray = zr_xray::XrayRecorder::current();
     if xray.is_active() {
@@ -117,18 +142,38 @@ pub fn run_figure<T>(name: &str, f: impl FnOnce() -> T) -> T {
             .or_else(zr_telemetry::output_dir)
             .unwrap_or_else(|| std::path::PathBuf::from("xray-out"));
         match zr_xray::export_capture(&xray, &dir) {
-            Ok(()) => eprintln!(
-                "[zr-bench] wrote xray capture to {}",
-                dir.join(zr_xray::JSON_FILE_NAME).display()
-            ),
+            Ok(()) => {
+                eprintln!(
+                    "[zr-bench] wrote xray capture to {}",
+                    dir.join(zr_xray::JSON_FILE_NAME).display()
+                );
+                zr_lens::register_artifact("xray-json", dir.join(zr_xray::JSON_FILE_NAME), false);
+                zr_lens::register_artifact("xray-csv", dir.join(zr_xray::CSV_FILE_NAME), false);
+            }
             Err(e) => eprintln!("[zr-bench] xray export failed: {e}"),
         }
     }
+    let mut calibration_wall_ns = 0;
     if let Some((profiler, dir)) = profiler {
         // capture_snapshot stamps calibration + thread-count metadata so
         // the export can be diffed across machines (`zr-prof diff`).
-        match zr_prof::export_profile(&zr_prof::capture_snapshot(profiler), &dir, name) {
-            Ok(()) => eprintln!("[zr-bench] wrote {} profile to {}", name, dir.display()),
+        let profile = zr_prof::capture_snapshot(profiler);
+        calibration_wall_ns = profile.calibration_wall_ns;
+        match zr_prof::export_profile(&profile, &dir, name) {
+            Ok(()) => {
+                eprintln!("[zr-bench] wrote {} profile to {}", name, dir.display());
+                // Both profile exports carry wall times: volatile.
+                zr_lens::register_artifact(
+                    "profile-json",
+                    dir.join(format!("{name}_profile.json")),
+                    true,
+                );
+                zr_lens::register_artifact(
+                    "profile-folded",
+                    dir.join(format!("{name}.folded")),
+                    true,
+                );
+            }
             Err(e) => eprintln!("[zr-bench] profile export failed: {e}"),
         }
     }
@@ -139,18 +184,76 @@ pub fn run_figure<T>(name: &str, f: impl FnOnce() -> T) -> T {
     };
     let rows = delta("dram.refresh.rows_refreshed") + delta("dram.refresh.rows_skipped");
     let accesses = delta("memctrl.reads") + delta("memctrl.writes");
+    let config = experiment_config();
+    let config_hash = zr_lens::fnv64(config.canonical_string().as_bytes());
+    let manifest_dir = lens_output_dir().or(telemetry_dir);
+    let manifest_path = match manifest_dir {
+        Some(dir) => {
+            let entries = zr_lens::drain_artifacts();
+            let (artifacts, volatile_artifacts) = zr_lens::collect_artifacts(&dir, &entries);
+            let manifest = zr_lens::Manifest {
+                figure: name.to_string(),
+                config_hash,
+                seed: config.seed,
+                threads: config.effective_threads() as u64,
+                env: zr_lens::env_knobs(),
+                totals: zr_lens::RunTotals {
+                    rows_refreshed: delta("dram.refresh.rows_refreshed"),
+                    rows_skipped: delta("dram.refresh.rows_skipped"),
+                    ar_commands: delta("dram.refresh.ar_commands"),
+                    table_reads: delta("dram.refresh.table_reads"),
+                    table_writes: delta("dram.refresh.table_writes"),
+                },
+                artifacts,
+                volatile: zr_lens::Volatile {
+                    wall_ns: wall.as_nanos() as u64,
+                    peak_rss_bytes: zr_lens::peak_rss_bytes(),
+                    calibration_wall_ns,
+                    artifacts: volatile_artifacts,
+                },
+            };
+            match manifest.write(&dir) {
+                Ok(path) => Some(path),
+                Err(e) => {
+                    eprintln!("[zr-bench] manifest write failed: {e}");
+                    None
+                }
+            }
+        }
+        None => {
+            // No output directory anywhere: drop any registered
+            // artifacts so they cannot leak into a later figure's
+            // manifest in the same process.
+            let _ = zr_lens::drain_artifacts();
+            None
+        }
+    };
     let secs = wall.as_secs_f64().max(f64::EPSILON);
     // One pre-formatted write: worker threads (and anything else on
     // stderr) cannot interleave into the middle of the summary line.
     let summary = format!(
         "[zr-bench] {name}: {:.2}s wall @ {} thread(s), {rows} chip-row decisions ({:.0}/s), \
-         {accesses} line accesses ({:.0}/s)\n",
+         {accesses} line accesses ({:.0}/s), config {}{}\n",
         wall.as_secs_f64(),
         zr_par::thread_count(),
         rows as f64 / secs,
         accesses as f64 / secs,
+        zr_lens::hex64(config_hash),
+        match &manifest_path {
+            Some(path) => format!(", manifest {}", path.display()),
+            None => String::new(),
+        },
     );
     use std::io::Write as _;
     let _ = std::io::stderr().write_all(summary.as_bytes());
     out
+}
+
+/// The manifest output directory `ZR_LENS` selects, when set and
+/// non-empty. With it unset, manifests fall back to the telemetry
+/// output directory (and are skipped entirely when neither exists).
+pub fn lens_output_dir() -> Option<std::path::PathBuf> {
+    std::env::var_os(zr_lens::ENV_LENS_DIR)
+        .filter(|v| !v.is_empty())
+        .map(std::path::PathBuf::from)
 }

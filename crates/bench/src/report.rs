@@ -91,6 +91,9 @@ fn write_json_with<T: serde::Serialize>(telemetry: &Telemetry, dir: &Path, name:
     match try_write_json_to(dir, name, data) {
         Ok(path) => {
             eprintln!("[zr-bench] wrote {}", path.display());
+            // Figure JSONs carry only simulation results, so they are
+            // deterministic manifest artifacts.
+            zr_lens::register_artifact("report", path.clone(), false);
             telemetry.emit(|| Event::ReportWrite {
                 name: name.to_string(),
                 path: path.display().to_string(),

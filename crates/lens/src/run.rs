@@ -1,0 +1,180 @@
+//! Loading every artifact a manifest points at into one in-memory view.
+//!
+//! Both the audit and the dashboard consume a [`LoadedRun`]: the
+//! manifest plus whichever capture layers actually ran (a missing
+//! artifact is `None`, not an error — runs may have layers disabled).
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use zr_prof::json::Json;
+use zr_prof::Profile;
+use zr_trace::TraceRecord;
+use zr_xray::XraySnapshot;
+
+use crate::manifest::Manifest;
+
+/// The telemetry snapshot fields the lens consumes, parsed with the
+/// dependency-free JSON model so serde-stubbed builds still audit.
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotView {
+    /// Counter name → value.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram name → completed-observation count.
+    pub histogram_counts: BTreeMap<String, u64>,
+}
+
+impl SnapshotView {
+    /// Parses the serde-written snapshot document.
+    ///
+    /// # Errors
+    ///
+    /// A message on JSON syntax errors or a non-object root.
+    pub fn parse(text: &str) -> Result<SnapshotView, String> {
+        let doc = Json::parse(text).map_err(|e| format!("snapshot: {e}"))?;
+        let mut view = SnapshotView::default();
+        if let Some(Json::Obj(counters)) = doc.get("counters") {
+            for (name, value) in counters {
+                view.counters
+                    .insert(name.clone(), value.as_u64().unwrap_or(0));
+            }
+        }
+        if let Some(Json::Obj(histograms)) = doc.get("histograms") {
+            for (name, h) in histograms {
+                let count = h.get("count").and_then(Json::as_u64).unwrap_or(0);
+                view.histogram_counts.insert(name.clone(), count);
+            }
+        }
+        if view.counters.is_empty()
+            && view.histogram_counts.is_empty()
+            && doc.get("counters").is_none()
+        {
+            return Err("snapshot: no counters/histograms keys".into());
+        }
+        Ok(view)
+    }
+
+    /// Counter value, zero when the counter never fired.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+}
+
+/// A manifest plus every artifact it names that could be loaded.
+#[derive(Debug, Clone)]
+pub struct LoadedRun {
+    /// Where the manifest was read from.
+    pub manifest_path: PathBuf,
+    /// The parsed manifest.
+    pub manifest: Manifest,
+    /// Telemetry snapshot (`kind = "snapshot"`).
+    pub snapshot: Option<SnapshotView>,
+    /// Charge-domain capture (`kind = "xray-json"`).
+    pub xray: Option<XraySnapshot>,
+    /// Flight-recorder records (`kind = "trace"`).
+    pub trace: Option<Vec<TraceRecord>>,
+    /// Span profile (`kind = "profile-json"`).
+    pub profile: Option<Profile>,
+}
+
+impl LoadedRun {
+    /// Loads the manifest at `path` and every layer artifact it names.
+    ///
+    /// # Errors
+    ///
+    /// A message when the manifest itself cannot be loaded, or an
+    /// artifact *exists but does not parse* (a present-but-corrupt
+    /// layer is an error; an absent layer is `None`).
+    pub fn load(path: &Path) -> Result<LoadedRun, String> {
+        LoadedRun::load_with(path, true)
+    }
+
+    /// [`LoadedRun::load`] without reading the trace — traces can be
+    /// hundreds of megabytes and the dashboard renders nothing from
+    /// them, so `zr-lens html` skips the parse.
+    pub fn load_without_trace(path: &Path) -> Result<LoadedRun, String> {
+        LoadedRun::load_with(path, false)
+    }
+
+    fn load_with(path: &Path, with_trace: bool) -> Result<LoadedRun, String> {
+        let manifest = Manifest::load(path)?;
+        let read = |kind: &str| -> Option<(String, Vec<u8>)> {
+            let artifact = manifest.artifact(kind)?;
+            let full = manifest.resolve(path, artifact);
+            std::fs::read(&full)
+                .ok()
+                .map(|b| (artifact.path.clone(), b))
+        };
+        let snapshot = match read("snapshot") {
+            // A zero-length snapshot means the build's serde_json is
+            // stubbed (offline builds write nothing); the layer is
+            // absent, not corrupt.
+            Some((_, bytes)) if bytes.iter().all(u8::is_ascii_whitespace) => None,
+            Some((name, bytes)) => Some(
+                SnapshotView::parse(&String::from_utf8_lossy(&bytes))
+                    .map_err(|e| format!("{name}: {e}"))?,
+            ),
+            None => None,
+        };
+        let xray = match read("xray-json") {
+            Some((name, bytes)) => {
+                let text = String::from_utf8_lossy(&bytes);
+                let doc = zr_xray::json::Json::parse(&text).map_err(|e| format!("{name}: {e}"))?;
+                Some(XraySnapshot::from_json(&doc).map_err(|e| format!("{name}: {e}"))?)
+            }
+            None => None,
+        };
+        let trace = match if with_trace { read("trace") } else { None } {
+            Some((name, bytes)) => {
+                Some(zr_trace::parse_trace(&bytes).map_err(|e| format!("{name}: {e}"))?)
+            }
+            None => None,
+        };
+        let profile = match read("profile-json") {
+            Some((name, bytes)) => {
+                let text = String::from_utf8_lossy(&bytes);
+                let doc = Json::parse(&text).map_err(|e| format!("{name}: {e}"))?;
+                Some(Profile::from_json(&doc).map_err(|e| format!("{name}: {e}"))?)
+            }
+            None => None,
+        };
+        Ok(LoadedRun {
+            manifest_path: path.to_path_buf(),
+            manifest,
+            snapshot,
+            xray,
+            trace,
+            profile,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_view_parses_serde_shape() {
+        let text = r#"{
+  "counters": { "dram.refresh.rows_skipped": 12, "x": 3 },
+  "gauges": {},
+  "histograms": {
+    "span.refresh.window": { "bounds": [], "buckets": [], "count": 8, "sum": 1.0, "mean": 0.1, "min": 0.0, "max": 1.0 }
+  }
+}"#;
+        let view = SnapshotView::parse(text).expect("parse");
+        assert_eq!(view.counter("dram.refresh.rows_skipped"), 12);
+        assert_eq!(view.counter("absent"), 0);
+        assert_eq!(
+            view.histogram_counts.get("span.refresh.window"),
+            Some(&8u64)
+        );
+    }
+
+    #[test]
+    fn snapshot_view_rejects_non_snapshot_documents() {
+        assert!(SnapshotView::parse("[1, 2]").is_err());
+        assert!(SnapshotView::parse("{\"other\": 1}").is_err());
+        assert!(SnapshotView::parse("not json").is_err());
+    }
+}

@@ -1,0 +1,151 @@
+//! A generic per-thread override stack for observability contexts.
+//!
+//! `zr-telemetry`, `zr-trace` and `zr-xray` all follow the same
+//! current/push-current pattern: instrumented components bind the
+//! innermost per-thread override if one is installed, falling back to a
+//! process-wide global. The sweep layer pushes a forked per-job instance
+//! on each worker thread and absorbs it back in submission order.
+//!
+//! [`Stack`] is the shared mechanism behind all three. Each crate still
+//! declares its own `thread_local!` slot (Rust has no generic
+//! thread-local statics) and keeps its own absorb semantics; what they
+//! share is the innermost-wins resolution and the RAII pop:
+//!
+//! ```
+//! use std::cell::RefCell;
+//! use std::sync::Arc;
+//! use zr_par::context::{Slot, Stack};
+//!
+//! struct Recorder;
+//! thread_local! {
+//!     static CURRENT: Slot<Recorder> = const { RefCell::new(Vec::new()) };
+//! }
+//! static STACK: Stack<Recorder> = Stack::new(&CURRENT);
+//!
+//! let global = Arc::new(Recorder);
+//! let job = Arc::new(Recorder);
+//! {
+//!     let _guard = STACK.push(Arc::clone(&job));
+//!     let bound = STACK.current_or(|| Arc::clone(&global));
+//!     assert!(Arc::ptr_eq(&bound, &job));
+//! }
+//! let bound = STACK.current_or(|| Arc::clone(&global));
+//! assert!(Arc::ptr_eq(&bound, &global));
+//! ```
+
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::Arc;
+use std::thread::LocalKey;
+
+/// The per-thread storage a [`Stack`] operates on. Crates declare one
+/// with `thread_local!` and hand a reference to [`Stack::new`].
+pub type Slot<T> = RefCell<Vec<Arc<T>>>;
+
+/// Innermost-wins override stack over a crate-owned thread-local
+/// [`Slot`]. All methods touch only the calling thread's stack.
+pub struct Stack<T: 'static> {
+    key: &'static LocalKey<Slot<T>>,
+}
+
+impl<T> Stack<T> {
+    /// Wraps the crate's thread-local slot. `const`, so the wrapper can
+    /// live in a `static` next to the `thread_local!` declaration.
+    pub const fn new(key: &'static LocalKey<Slot<T>>) -> Stack<T> {
+        Stack { key }
+    }
+
+    /// The innermost override on this thread, or `fallback()` (typically
+    /// the process-wide global) when none is installed.
+    pub fn current_or(&self, fallback: impl FnOnce() -> Arc<T>) -> Arc<T> {
+        self.key
+            .with(|c| c.borrow().last().cloned())
+            .unwrap_or_else(fallback)
+    }
+
+    /// Installs `value` as this thread's innermost override until the
+    /// returned guard drops. Overrides nest (innermost wins).
+    #[must_use = "dropping the guard immediately uninstalls the override"]
+    pub fn push(&self, value: Arc<T>) -> Guard<T> {
+        self.key.with(|c| c.borrow_mut().push(value));
+        Guard { key: self.key }
+    }
+
+    /// How many overrides this thread currently has installed.
+    pub fn depth(&self) -> usize {
+        self.key.with(|c| c.borrow().len())
+    }
+}
+
+impl<T> fmt::Debug for Stack<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Stack")
+            .field("depth", &self.depth())
+            .finish()
+    }
+}
+
+/// RAII guard of one [`Stack::push`] override; dropping it pops the
+/// override from the pushing thread's stack.
+#[must_use = "dropping the guard immediately uninstalls the override"]
+pub struct Guard<T: 'static> {
+    key: &'static LocalKey<Slot<T>>,
+}
+
+impl<T> Drop for Guard<T> {
+    fn drop(&mut self) {
+        self.key.with(|c| {
+            c.borrow_mut().pop();
+        });
+    }
+}
+
+impl<T> fmt::Debug for Guard<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Guard").finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Ctx(u32);
+
+    thread_local! {
+        static TEST_CURRENT: Slot<Ctx> = const { RefCell::new(Vec::new()) };
+    }
+    static TEST_STACK: Stack<Ctx> = Stack::new(&TEST_CURRENT);
+
+    #[test]
+    fn overrides_nest_and_pop_in_order() {
+        let fallback = Arc::new(Ctx(0));
+        let resolve = || TEST_STACK.current_or(|| Arc::clone(&fallback));
+        assert_eq!(resolve().0, 0);
+        {
+            let _a = TEST_STACK.push(Arc::new(Ctx(1)));
+            assert_eq!(resolve().0, 1);
+            assert_eq!(TEST_STACK.depth(), 1);
+            {
+                let _b = TEST_STACK.push(Arc::new(Ctx(2)));
+                assert_eq!(resolve().0, 2);
+                assert_eq!(TEST_STACK.depth(), 2);
+            }
+            assert_eq!(resolve().0, 1);
+        }
+        assert_eq!(TEST_STACK.depth(), 0);
+        assert_eq!(resolve().0, 0);
+    }
+
+    #[test]
+    fn overrides_are_thread_local() {
+        let _guard = TEST_STACK.push(Arc::new(Ctx(7)));
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                assert_eq!(TEST_STACK.depth(), 0);
+                assert_eq!(TEST_STACK.current_or(|| Arc::new(Ctx(9))).0, 9);
+            });
+        });
+        assert_eq!(TEST_STACK.depth(), 1);
+    }
+}

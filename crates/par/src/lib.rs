@@ -35,6 +35,8 @@
 
 #![warn(missing_docs)]
 
+pub mod context;
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 

@@ -83,6 +83,29 @@ impl ExperimentConfig {
         self.threads.unwrap_or_else(zr_par::thread_count).max(1)
     }
 
+    /// A canonical key/value rendering of every field that affects
+    /// simulation *results*. The sweep-pool width is deliberately
+    /// excluded: results are byte-identical at every thread count, so
+    /// two runs differing only in `threads` are the same experiment.
+    /// Run manifests fingerprint configurations by hashing this string
+    /// (`zr-lens`, see `docs/LENS.md`); the leading `v1` versions the
+    /// rendering itself.
+    pub fn canonical_string(&self) -> String {
+        format!(
+            "v1 capacity_bytes={} row_bytes={} windows={} temperature={:?} seed={} \
+             ebdi={} bit_plane={} rotation={} cell_aware={}",
+            self.capacity_bytes,
+            self.row_bytes,
+            self.windows,
+            self.temperature,
+            self.seed,
+            self.transform.ebdi,
+            self.transform.bit_plane,
+            self.transform.rotation,
+            self.transform.cell_aware,
+        )
+    }
+
     /// The [`zr_types::SystemConfig`] realizing this experiment setup.
     ///
     /// The true/anti-cell block size scales with the capacity (1/8 of the

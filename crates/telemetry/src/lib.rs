@@ -60,8 +60,13 @@ use std::sync::{Arc, Mutex, OnceLock, RwLock};
 thread_local! {
     /// Per-thread stack of [`Telemetry::push_current`] overrides; the
     /// innermost entry is what [`Telemetry::current`] resolves to.
-    static CURRENT: RefCell<Vec<Arc<Telemetry>>> = const { RefCell::new(Vec::new()) };
+    static CURRENT: zr_par::context::Slot<Telemetry> = const { RefCell::new(Vec::new()) };
 }
+
+/// The shared innermost-wins resolution over [`CURRENT`] (see
+/// [`zr_par::context`] — the same mechanism backs `zr-trace` and
+/// `zr-xray`).
+static CURRENT_STACK: zr_par::context::Stack<Telemetry> = zr_par::context::Stack::new(&CURRENT);
 
 /// Whether the linked `serde_json` actually serializes values.
 ///
@@ -170,17 +175,16 @@ impl Telemetry {
     /// a pool worker (or a hermetic test) wires it to the job's private
     /// instance with no plumbing.
     pub fn current() -> Arc<Telemetry> {
-        CURRENT
-            .with(|c| c.borrow().last().cloned())
-            .unwrap_or_else(|| Arc::clone(Telemetry::global()))
+        CURRENT_STACK.current_or(|| Arc::clone(Telemetry::global()))
     }
 
     /// Installs `telemetry` as this thread's [`Telemetry::current`]
     /// until the returned guard drops. Overrides nest (innermost wins).
     #[must_use = "dropping the guard immediately uninstalls the override"]
     pub fn push_current(telemetry: Arc<Telemetry>) -> CurrentGuard {
-        CURRENT.with(|c| c.borrow_mut().push(telemetry));
-        CurrentGuard(())
+        CurrentGuard {
+            _inner: CURRENT_STACK.push(telemetry),
+        }
     }
 
     /// The dot-joined scope path active on this thread, if any — what a
@@ -403,14 +407,9 @@ impl Telemetry {
 /// pops the override from this thread's stack.
 #[derive(Debug)]
 #[must_use = "dropping the guard immediately uninstalls the override"]
-pub struct CurrentGuard(());
-
-impl Drop for CurrentGuard {
-    fn drop(&mut self) {
-        CURRENT.with(|c| {
-            c.borrow_mut().pop();
-        });
-    }
+pub struct CurrentGuard {
+    /// Held for its Drop impl, which pops the override.
+    _inner: zr_par::context::Guard<Telemetry>,
 }
 
 #[cfg(test)]

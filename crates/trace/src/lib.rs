@@ -56,6 +56,7 @@ pub use record::{
     RECORDS_PER_FRAME, RECORD_BYTES, SRC_CACHE, SRC_MEMCTRL, SRC_TIMING, SRC_TRANSFORM,
 };
 pub use recorder::{
-    next_engine_id, CurrentTraceGuard, TraceRecorder, DEFAULT_FILE_NAME, ENV_TRACE, ENV_TRACE_RING,
+    env_trace_path, next_engine_id, CurrentTraceGuard, TraceRecorder, DEFAULT_FILE_NAME, ENV_TRACE,
+    ENV_TRACE_RING,
 };
 pub use replay::{replay, Divergence, ReplayReport};

@@ -26,8 +26,13 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 thread_local! {
     /// Per-thread stack of [`TraceRecorder::push_current`] overrides.
-    static CURRENT: RefCell<Vec<Arc<TraceRecorder>>> = const { RefCell::new(Vec::new()) };
+    static CURRENT: zr_par::context::Slot<TraceRecorder> = const { RefCell::new(Vec::new()) };
 }
+
+/// The shared innermost-wins resolution over [`CURRENT`] (see
+/// [`zr_par::context`] — the same mechanism backs `zr-telemetry` and
+/// `zr-xray`).
+static CURRENT_STACK: zr_par::context::Stack<TraceRecorder> = zr_par::context::Stack::new(&CURRENT);
 
 use crate::record::{
     encode_header, TraceRecord, ENGINE_ID_LIMIT, FRAME_PREFIX_BYTES, RECORDS_PER_FRAME,
@@ -44,6 +49,20 @@ pub const ENV_TRACE_RING: &str = "ZR_TRACE_RING";
 
 /// Default trace file name when `ZR_TRACE` names a directory.
 pub const DEFAULT_FILE_NAME: &str = "trace.zrt";
+
+/// The on-disk trace path `ZR_TRACE` currently selects, without touching
+/// the filesystem: a value with an extension is the file itself, any
+/// other value is a directory that receives [`DEFAULT_FILE_NAME`].
+/// `None` when tracing is disabled (unset or empty).
+pub fn env_trace_path() -> Option<PathBuf> {
+    let dest = std::env::var_os(ENV_TRACE).filter(|v| !v.is_empty())?;
+    let dest = PathBuf::from(dest);
+    Some(if dest.extension().is_some() {
+        dest
+    } else {
+        dest.join(DEFAULT_FILE_NAME)
+    })
+}
 
 /// Allocates a process-unique refresh-engine instance id, wrapping below
 /// [`ENGINE_ID_LIMIT`] so engine ids never collide with component ids.
@@ -204,17 +223,16 @@ impl TraceRecorder {
     /// so a pooled sweep's trace file is grouped by job rather than
     /// interleaved by scheduling.
     pub fn current() -> Arc<TraceRecorder> {
-        CURRENT
-            .with(|c| c.borrow().last().cloned())
-            .unwrap_or_else(|| Arc::clone(TraceRecorder::global()))
+        CURRENT_STACK.current_or(|| Arc::clone(TraceRecorder::global()))
     }
 
     /// Installs `recorder` as this thread's [`TraceRecorder::current`]
     /// until the returned guard drops. Overrides nest (innermost wins).
     #[must_use = "dropping the guard immediately uninstalls the override"]
     pub fn push_current(recorder: Arc<TraceRecorder>) -> CurrentTraceGuard {
-        CURRENT.with(|c| c.borrow_mut().push(recorder));
-        CurrentTraceGuard(())
+        CurrentTraceGuard {
+            _inner: CURRENT_STACK.push(recorder),
+        }
     }
 
     /// Re-records a serialized trace — typically
@@ -238,19 +256,12 @@ impl TraceRecorder {
 
     /// Builds a recorder from the environment (see [`Self::global`]).
     pub fn from_env() -> TraceRecorder {
-        let Some(dest) = std::env::var_os(ENV_TRACE).filter(|v| !v.is_empty()) else {
+        let Some(path) = env_trace_path() else {
             return TraceRecorder::disabled();
         };
-        let dest = PathBuf::from(dest);
-        let path = if dest.extension().is_some() {
-            if let Some(parent) = dest.parent().filter(|p| !p.as_os_str().is_empty()) {
-                let _ = std::fs::create_dir_all(parent);
-            }
-            dest
-        } else {
-            let _ = std::fs::create_dir_all(&dest);
-            dest.join(DEFAULT_FILE_NAME)
-        };
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            let _ = std::fs::create_dir_all(parent);
+        }
         let ring = std::env::var(ENV_TRACE_RING)
             .ok()
             .and_then(|v| v.parse::<usize>().ok())
@@ -381,14 +392,9 @@ impl Drop for TraceRecorder {
 /// it pops the override from this thread's stack.
 #[derive(Debug)]
 #[must_use = "dropping the guard immediately uninstalls the override"]
-pub struct CurrentTraceGuard(());
-
-impl Drop for CurrentTraceGuard {
-    fn drop(&mut self) {
-        CURRENT.with(|c| {
-            c.borrow_mut().pop();
-        });
-    }
+pub struct CurrentTraceGuard {
+    /// Held for its Drop impl, which pops the override.
+    _inner: zr_par::context::Guard<TraceRecorder>,
 }
 
 #[cfg(test)]

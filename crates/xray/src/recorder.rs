@@ -31,8 +31,13 @@ use crate::snapshot::{
 
 thread_local! {
     /// Per-thread stack of [`XrayRecorder::push_current`] overrides.
-    static CURRENT: RefCell<Vec<Arc<XrayRecorder>>> = const { RefCell::new(Vec::new()) };
+    static CURRENT: zr_par::context::Slot<XrayRecorder> = const { RefCell::new(Vec::new()) };
 }
+
+/// The shared innermost-wins resolution over [`CURRENT`] (see
+/// [`zr_par::context`] — the same mechanism backs `zr-telemetry` and
+/// `zr-trace`).
+static CURRENT_STACK: zr_par::context::Stack<XrayRecorder> = zr_par::context::Stack::new(&CURRENT);
 
 /// Environment variable activating the global recorder. `1` enables the
 /// capture (exported next to the other telemetry artifacts); any other
@@ -163,17 +168,16 @@ impl XrayRecorder {
     /// [`XrayRecorder::push_current`] override on this thread, or
     /// [`XrayRecorder::global`] when none is installed.
     pub fn current() -> Arc<XrayRecorder> {
-        CURRENT
-            .with(|c| c.borrow().last().cloned())
-            .unwrap_or_else(|| Arc::clone(XrayRecorder::global()))
+        CURRENT_STACK.current_or(|| Arc::clone(XrayRecorder::global()))
     }
 
     /// Installs `recorder` as this thread's [`XrayRecorder::current`]
     /// until the returned guard drops. Overrides nest (innermost wins).
     #[must_use = "dropping the guard immediately uninstalls the override"]
     pub fn push_current(recorder: Arc<XrayRecorder>) -> CurrentXrayGuard {
-        CURRENT.with(|c| c.borrow_mut().push(recorder));
-        CurrentXrayGuard(())
+        CurrentXrayGuard {
+            _inner: CURRENT_STACK.push(recorder),
+        }
     }
 
     /// Forks a private recorder for one parallel sweep job: active with
@@ -435,14 +439,9 @@ fn window_cap_from_env() -> u64 {
 /// it pops the override from this thread's stack.
 #[derive(Debug)]
 #[must_use = "dropping the guard immediately uninstalls the override"]
-pub struct CurrentXrayGuard(());
-
-impl Drop for CurrentXrayGuard {
-    fn drop(&mut self) {
-        CURRENT.with(|c| {
-            c.borrow_mut().pop();
-        });
-    }
+pub struct CurrentXrayGuard {
+    /// Held for its Drop impl, which pops the override.
+    _inner: zr_par::context::Guard<XrayRecorder>,
 }
 
 #[cfg(test)]
