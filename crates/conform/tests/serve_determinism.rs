@@ -1,0 +1,222 @@
+//! Serving-invariant gate: a cache hit is byte-identical to a cold run.
+//!
+//! For each fig14-subset configuration the battery runs the real
+//! simulator through the server three ways — cold (miss), cached (hit),
+//! and cold again after eviction — and demands all three produce the
+//! same bytes. The served bytes' FNV-1a must equal the `report`
+//! artifact checksum in the run manifest the server wrote, the manifest
+//! must survive `zr-lens audit`, and the manifests of the two cold runs
+//! must agree on every non-volatile fact.
+//!
+//! This is the conformance pin for the whole serving layer: if any
+//! state leaks between runs (cache residue, telemetry bleed, pool-width
+//! sensitivity, wall-clock contamination of the result document), one
+//! of these byte comparisons breaks.
+
+use std::path::PathBuf;
+
+use zr_serve::{CacheOutcome, Figure, Scenario, Server, ServerConfig, SweepRequest};
+use zr_sim::experiments::ExperimentConfig;
+use zr_workloads::Benchmark;
+
+/// The golden-figure benchmark subset the conformance gates run.
+const SUBSET: [Benchmark; 6] = [
+    Benchmark::GemsFdtd,
+    Benchmark::Sphinx3,
+    Benchmark::Omnetpp,
+    Benchmark::SpC,
+    Benchmark::Mcf,
+    Benchmark::TpchQ6,
+];
+
+/// Small-but-real experiment scale: one window over 1 MiB keeps each
+/// cold simulation around 100 ms in a debug build.
+fn gate_config() -> ExperimentConfig {
+    ExperimentConfig {
+        capacity_bytes: 1 << 20,
+        windows: 1,
+        seed: 0x00C0_F042,
+        ..ExperimentConfig::default()
+    }
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("zr-serve-conform-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn manifest_path(lens_dir: &std::path::Path, key: u64) -> PathBuf {
+    lens_dir
+        .join(format!("serve-{}", zr_lens::hex64(key)))
+        .join("manifest.json")
+}
+
+#[test]
+fn cold_hit_cold_are_byte_identical_per_config() {
+    let lens_dir = scratch_dir("fig14");
+    let server = Server::simulator(ServerConfig {
+        cache_entries: SUBSET.len(),
+        workers: 2,
+        lens_dir: Some(lens_dir.clone()),
+    });
+    for bench in SUBSET {
+        let request = SweepRequest::new(
+            Figure::Fig14Refresh,
+            vec![bench],
+            Scenario::Full,
+            gate_config(),
+        );
+        let key = request.key();
+
+        let cold = server.submit(request.clone()).wait().unwrap();
+        assert_eq!(
+            cold.outcome,
+            CacheOutcome::Miss,
+            "{}: first run is cold",
+            bench.name()
+        );
+        let first_manifest = zr_lens::Manifest::load(&manifest_path(&lens_dir, key))
+            .expect("manifest after cold run");
+
+        let hit = server.submit(request.clone()).wait().unwrap();
+        assert_eq!(
+            hit.outcome,
+            CacheOutcome::Hit,
+            "{}: second run hits",
+            bench.name()
+        );
+        assert_eq!(
+            hit.bytes,
+            cold.bytes,
+            "{}: hit bytes must equal cold bytes",
+            bench.name()
+        );
+
+        assert!(
+            server.invalidate(key),
+            "{}: evict the cached entry",
+            bench.name()
+        );
+        let recold = server.submit(request).wait().unwrap();
+        assert_eq!(
+            recold.outcome,
+            CacheOutcome::Miss,
+            "{}: post-evict run is cold again",
+            bench.name()
+        );
+        assert_eq!(
+            recold.bytes,
+            cold.bytes,
+            "{}: cold ≡ cold-again must hold byte-for-byte",
+            bench.name()
+        );
+
+        // The manifest's report artifact checksums the served bytes.
+        let report = first_manifest
+            .artifact("report")
+            .expect("report artifact in served manifest");
+        assert_eq!(
+            report.fnv,
+            zr_lens::fnv64(&cold.bytes),
+            "{}: manifest checksum must match served bytes",
+            bench.name()
+        );
+        assert_eq!(report.bytes, cold.bytes.len() as u64);
+        assert_eq!(first_manifest.config_hash, key);
+        assert_eq!(first_manifest.figure, "fig14_refresh_reduction");
+        assert!(
+            first_manifest.totals.rows_refreshed + first_manifest.totals.rows_skipped > 0,
+            "{}: a real simulation must have made refresh decisions",
+            bench.name()
+        );
+
+        // The re-run overwrote the manifest; everything non-volatile
+        // must have survived the overwrite byte-for-byte.
+        let second_manifest =
+            zr_lens::Manifest::load(&manifest_path(&lens_dir, key)).expect("manifest after re-run");
+        assert_eq!(
+            zr_prof::json::Json::to_pretty(&first_manifest.deterministic_json()),
+            zr_prof::json::Json::to_pretty(&second_manifest.deterministic_json()),
+            "{}: cold runs must write identical deterministic manifests",
+            bench.name()
+        );
+
+        // And the served run must reconcile under the cross-layer audit.
+        let audit = zr_lens::audit(&manifest_path(&lens_dir, key)).expect("audit served run");
+        assert!(
+            audit.is_ok(),
+            "{}: zr-lens audit found mismatches:\n{}",
+            bench.name(),
+            audit.render()
+        );
+    }
+    let _ = std::fs::remove_dir_all(&lens_dir);
+}
+
+#[test]
+fn fig16_served_run_reconciles_and_repeats() {
+    let lens_dir = scratch_dir("fig16");
+    let server = Server::simulator(ServerConfig {
+        cache_entries: 2,
+        workers: 1,
+        lens_dir: Some(lens_dir.clone()),
+    });
+    let request = SweepRequest::new(
+        Figure::Fig16Temperature,
+        vec![Benchmark::GemsFdtd, Benchmark::Mcf],
+        Scenario::Paper,
+        gate_config(),
+    );
+    let key = request.key();
+    let cold = server.submit(request.clone()).wait().unwrap();
+    assert_eq!(cold.outcome, CacheOutcome::Miss);
+    assert!(server.invalidate(key));
+    let recold = server.submit(request).wait().unwrap();
+    assert_eq!(recold.outcome, CacheOutcome::Miss);
+    assert_eq!(recold.bytes, cold.bytes, "fig16 cold runs must agree");
+
+    let manifest = zr_lens::Manifest::load(&manifest_path(&lens_dir, key)).expect("fig16 manifest");
+    assert_eq!(manifest.figure, "fig16_temperature");
+    assert_eq!(
+        manifest.artifact("report").expect("report artifact").fnv,
+        zr_lens::fnv64(&cold.bytes)
+    );
+    let audit = zr_lens::audit(&manifest_path(&lens_dir, key)).expect("audit fig16 run");
+    assert!(audit.is_ok(), "audit mismatches:\n{}", audit.render());
+    let _ = std::fs::remove_dir_all(&lens_dir);
+}
+
+#[test]
+fn servers_do_not_contaminate_each_other() {
+    // Two independent servers, same request: the bytes must agree even
+    // though one of them has served unrelated work first — nothing a
+    // server does may leak into another's results.
+    let request = SweepRequest::new(
+        Figure::Fig14Refresh,
+        vec![Benchmark::Mcf],
+        Scenario::Bitbrains,
+        gate_config(),
+    );
+    let fresh = Server::simulator(ServerConfig::default());
+    let fresh_reply = fresh.submit(request.clone()).wait().unwrap();
+
+    let busy = Server::simulator(ServerConfig::default());
+    let unrelated = SweepRequest::new(
+        Figure::Fig14Refresh,
+        vec![Benchmark::TpchQ6],
+        Scenario::Full,
+        ExperimentConfig {
+            seed: 0xD1FF,
+            ..gate_config()
+        },
+    );
+    busy.submit(unrelated).wait().unwrap();
+    let busy_reply = busy.submit(request).wait().unwrap();
+    assert_eq!(
+        fresh_reply.bytes, busy_reply.bytes,
+        "prior unrelated work must not change served bytes"
+    );
+    assert_eq!(fresh_reply.fnv, busy_reply.fnv);
+}

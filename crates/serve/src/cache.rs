@@ -1,0 +1,202 @@
+//! The content-addressed result cache: a capacity-bounded LRU keyed by
+//! request content-addresses ([`crate::SweepRequest::key`]).
+//!
+//! The cache stores the *exact bytes* a cold computation produced plus
+//! their FNV-1a checksum (the same checksum the run manifest records
+//! for the result artifact), so a hit can be answered — and audited —
+//! without touching the simulator. Everything here is plain
+//! deterministic data structure work: the recency list is an explicit
+//! MRU-first vector, so eviction order is a pure function of the
+//! operation sequence and never depends on hashing or scheduling.
+
+use std::sync::Arc;
+
+/// One cached result: the served bytes and their checksum.
+#[derive(Debug, Clone)]
+pub struct CacheEntry {
+    /// The result document bytes, exactly as a cold run produced them.
+    pub bytes: Arc<Vec<u8>>,
+    /// FNV-1a 64 of `bytes` — equal to the `result.json` artifact
+    /// checksum in the served run's manifest.
+    pub fnv: u64,
+}
+
+impl CacheEntry {
+    /// Wraps result bytes, computing their checksum once.
+    pub fn new(bytes: Vec<u8>) -> CacheEntry {
+        let fnv = zr_lens::fnv64(&bytes);
+        CacheEntry {
+            bytes: Arc::new(bytes),
+            fnv,
+        }
+    }
+}
+
+/// A deterministic LRU over [`CacheEntry`] values.
+///
+/// The entry list is kept MRU-first; `get` bumps, `insert` pushes front
+/// and evicts from the back past `capacity`. Linear scans are fine at
+/// service cache sizes (hundreds of figures, each worth milliseconds to
+/// seconds of simulation) and buy exact, schedule-independent state for
+/// the load-mix battery to compare against its reference model.
+#[derive(Debug)]
+pub struct ResultCache {
+    capacity: usize,
+    /// `(key, entry)` pairs, most recently used first.
+    entries: Vec<(u64, CacheEntry)>,
+}
+
+impl ResultCache {
+    /// An empty cache bounded at `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            capacity: capacity.max(1),
+            entries: Vec::new(),
+        }
+    }
+
+    /// The configured entry bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of cached results.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks `key` up and marks it most recently used.
+    pub fn get(&mut self, key: u64) -> Option<CacheEntry> {
+        let pos = self.entries.iter().position(|&(k, _)| k == key)?;
+        let pair = self.entries.remove(pos);
+        let entry = pair.1.clone();
+        self.entries.insert(0, pair);
+        Some(entry)
+    }
+
+    /// Looks `key` up without touching recency (observability only).
+    pub fn peek(&self, key: u64) -> Option<&CacheEntry> {
+        self.entries
+            .iter()
+            .find(|&&(k, _)| k == key)
+            .map(|(_, e)| e)
+    }
+
+    /// Inserts (or replaces) `key`, marking it most recently used, and
+    /// returns the keys evicted to restore the capacity bound — in
+    /// eviction order (least recently used first).
+    pub fn insert(&mut self, key: u64, entry: CacheEntry) -> Vec<u64> {
+        if let Some(pos) = self.entries.iter().position(|&(k, _)| k == key) {
+            self.entries.remove(pos);
+        }
+        self.entries.insert(0, (key, entry));
+        let mut evicted = Vec::new();
+        while self.entries.len() > self.capacity {
+            let (k, _) = self.entries.pop().expect("non-empty over capacity");
+            evicted.push(k);
+        }
+        evicted
+    }
+
+    /// Removes `key`; returns whether it was present.
+    pub fn remove(&mut self, key: u64) -> bool {
+        match self.entries.iter().position(|&(k, _)| k == key) {
+            Some(pos) => {
+                self.entries.remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drops every entry, returning how many were held.
+    pub fn clear(&mut self) -> usize {
+        let n = self.entries.len();
+        self.entries.clear();
+        n
+    }
+
+    /// Every cached key, most recently used first — the exact recency
+    /// order the next eviction will consume from the back of.
+    pub fn keys_mru(&self) -> Vec<u64> {
+        self.entries.iter().map(|&(k, _)| k).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(tag: u8) -> CacheEntry {
+        CacheEntry::new(vec![tag; 4])
+    }
+
+    #[test]
+    fn entry_checksum_matches_fnv() {
+        let e = CacheEntry::new(b"foobar".to_vec());
+        assert_eq!(e.fnv, zr_lens::fnv64(b"foobar"));
+    }
+
+    #[test]
+    fn get_bumps_recency_and_insert_evicts_lru() {
+        let mut cache = ResultCache::new(3);
+        assert!(cache.insert(1, entry(1)).is_empty());
+        assert!(cache.insert(2, entry(2)).is_empty());
+        assert!(cache.insert(3, entry(3)).is_empty());
+        assert_eq!(cache.keys_mru(), vec![3, 2, 1]);
+        // Touch 1: now 2 is the LRU.
+        assert!(cache.get(1).is_some());
+        assert_eq!(cache.keys_mru(), vec![1, 3, 2]);
+        let evicted = cache.insert(4, entry(4));
+        assert_eq!(evicted, vec![2]);
+        assert_eq!(cache.keys_mru(), vec![4, 1, 3]);
+        assert!(cache.get(2).is_none());
+    }
+
+    #[test]
+    fn reinsert_replaces_without_eviction() {
+        let mut cache = ResultCache::new(2);
+        cache.insert(1, entry(1));
+        cache.insert(2, entry(2));
+        let evicted = cache.insert(1, entry(9));
+        assert!(evicted.is_empty());
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.keys_mru(), vec![1, 2]);
+        assert_eq!(cache.peek(1).unwrap().bytes.as_ref(), &vec![9u8; 4]);
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut cache = ResultCache::new(4);
+        cache.insert(1, entry(1));
+        cache.insert(2, entry(2));
+        assert!(cache.remove(1));
+        assert!(!cache.remove(1));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.clear(), 1);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_one() {
+        let mut cache = ResultCache::new(0);
+        assert_eq!(cache.capacity(), 1);
+        cache.insert(1, entry(1));
+        let evicted = cache.insert(2, entry(2));
+        assert_eq!(evicted, vec![1]);
+    }
+
+    #[test]
+    fn peek_does_not_bump() {
+        let mut cache = ResultCache::new(2);
+        cache.insert(1, entry(1));
+        cache.insert(2, entry(2));
+        assert!(cache.peek(1).is_some());
+        assert_eq!(cache.keys_mru(), vec![2, 1], "peek must not reorder");
+    }
+}

@@ -1,0 +1,222 @@
+//! The figure kernels: compute a [`SweepRequest`]'s result bytes.
+//!
+//! These are the same experiment drivers the batch figure builders call
+//! (`zr_sim::experiments::{refresh, energy}`), swept on the same
+//! [`zr_sim::experiments::parallel`] pool in the same cell order — but
+//! rendered to a dependency-free JSON document instead of stdout
+//! tables, because a service's stdout belongs to its protocol.
+//!
+//! # Determinism contract
+//!
+//! [`simulate`] is a pure function of the request's canonical string:
+//! same request → byte-identical output, at every `ZR_THREADS` /
+//! `config.threads` (the pool merges in submission order) and across
+//! processes (the document contains no wall times, paths or env). This
+//! is the property the zr-conform `serve_determinism` gate pins.
+
+use zr_prof::json::Json;
+use zr_sim::experiments::{energy, parallel, refresh};
+use zr_types::Result;
+
+use crate::request::{Figure, SweepRequest};
+
+/// Result document format version.
+pub const RESULT_SCHEMA: u64 = 1;
+
+/// Computes the request's result document and returns its bytes — the
+/// bytes the cache stores, the manifest checksums and the protocol
+/// serves.
+///
+/// # Errors
+///
+/// Propagates request validation and experiment errors.
+pub fn simulate(request: &SweepRequest) -> Result<Vec<u8>> {
+    request.validate()?;
+    let exp = &request.config;
+    let threads = exp.effective_threads();
+    let benches = &request.benches;
+    let rows: Vec<(String, Vec<f64>)> = match request.figure {
+        Figure::Fig14Refresh => {
+            let allocs = request.scenario.allocs();
+            let flat = parallel::sweep_with(threads, benches.len() * allocs.len(), |i| {
+                Ok(
+                    refresh::measure(benches[i / allocs.len()], allocs[i % allocs.len()], exp)?
+                        .normalized,
+                )
+            })?;
+            collect_rows(request, &flat, allocs.len())
+        }
+        Figure::Fig15Energy => {
+            let allocs = request.scenario.allocs();
+            let flat = parallel::sweep_with(threads, benches.len() * allocs.len(), |i| {
+                Ok(
+                    energy::measure(benches[i / allocs.len()], allocs[i % allocs.len()], exp)?
+                        .normalized_energy,
+                )
+            })?;
+            collect_rows(request, &flat, allocs.len())
+        }
+        Figure::Fig16Temperature => {
+            let pairs = parallel::sweep_with(threads, benches.len(), |i| {
+                refresh::temperature_compare(benches[i], exp)
+            })?;
+            benches
+                .iter()
+                .zip(&pairs)
+                .map(|(b, (ext, norm))| {
+                    (b.name().to_string(), vec![ext.normalized, norm.normalized])
+                })
+                .collect()
+        }
+    };
+    Ok(render(request, &rows).to_pretty().into_bytes())
+}
+
+/// Groups a bench-major flat sweep back into per-benchmark rows of
+/// `width` cells — the same cell order the batch figure builders print.
+fn collect_rows(request: &SweepRequest, flat: &[f64], width: usize) -> Vec<(String, Vec<f64>)> {
+    request
+        .benches
+        .iter()
+        .enumerate()
+        .map(|(bi, b)| {
+            (
+                b.name().to_string(),
+                flat[bi * width..(bi + 1) * width].to_vec(),
+            )
+        })
+        .collect()
+}
+
+/// Renders the result document. Self-describing: it carries the figure
+/// name, scenario, column meaning, the request's content-address and
+/// its full canonical string, so a cached artifact can be understood —
+/// and re-keyed — without the request that produced it.
+fn render(request: &SweepRequest, rows: &[(String, Vec<f64>)]) -> Json {
+    let columns: Vec<Json> = match request.figure {
+        Figure::Fig16Temperature => {
+            vec![Json::Str("32ms".to_string()), Json::Str("64ms".to_string())]
+        }
+        _ => request
+            .scenario
+            .allocs()
+            .iter()
+            .map(|&a| Json::Str(format!("{:.0}%", a * 100.0)))
+            .collect(),
+    };
+    Json::Obj(vec![
+        ("schema".to_string(), Json::Num(RESULT_SCHEMA as f64)),
+        ("service".to_string(), Json::Str("zr-serve".to_string())),
+        (
+            "figure".to_string(),
+            Json::Str(request.figure.figure_name().to_string()),
+        ),
+        (
+            "scenario".to_string(),
+            Json::Str(request.scenario.name().to_string()),
+        ),
+        ("key".to_string(), Json::Str(zr_lens::hex64(request.key()))),
+        ("request".to_string(), Json::Str(request.canonical_string())),
+        ("columns".to_string(), Json::Arr(columns)),
+        (
+            "rows".to_string(),
+            Json::Obj(
+                rows.iter()
+                    .map(|(name, cells)| {
+                        (
+                            name.clone(),
+                            Json::Arr(cells.iter().map(|&v| Json::Num(v)).collect()),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Scenario;
+    use zr_sim::experiments::ExperimentConfig;
+    use zr_workloads::Benchmark;
+
+    fn tiny_request(figure: Figure) -> SweepRequest {
+        SweepRequest::new(
+            figure,
+            vec![Benchmark::Gcc],
+            Scenario::Full,
+            ExperimentConfig {
+                capacity_bytes: 1 << 20,
+                windows: 1,
+                ..ExperimentConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn fig14_bytes_are_reproducible_and_self_describing() {
+        let request = tiny_request(Figure::Fig14Refresh);
+        let a = simulate(&request).unwrap();
+        let b = simulate(&request).unwrap();
+        assert_eq!(a, b, "same request must produce identical bytes");
+        let doc = Json::parse(std::str::from_utf8(&a).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("key").and_then(Json::as_str),
+            Some(zr_lens::hex64(request.key()).as_str())
+        );
+        assert_eq!(
+            doc.get("figure").and_then(Json::as_str),
+            Some("fig14_refresh_reduction")
+        );
+        let rows = doc.get("rows").expect("rows");
+        let cells = rows.get("gcc").and_then(Json::as_arr).expect("gcc row");
+        assert_eq!(cells.len(), 1);
+        let v = cells[0].as_f64().unwrap();
+        assert!((0.0..=1.0).contains(&v), "normalized {v} out of range");
+    }
+
+    #[test]
+    fn fig14_matches_direct_driver_measurement() {
+        let request = tiny_request(Figure::Fig14Refresh);
+        let bytes = simulate(&request).unwrap();
+        let doc = Json::parse(std::str::from_utf8(&bytes).unwrap()).unwrap();
+        let served = doc
+            .get("rows")
+            .unwrap()
+            .get("gcc")
+            .unwrap()
+            .as_arr()
+            .unwrap()[0]
+            .as_f64()
+            .unwrap();
+        let direct = refresh::measure(Benchmark::Gcc, 1.0, &request.config)
+            .unwrap()
+            .normalized;
+        assert_eq!(served, direct);
+    }
+
+    #[test]
+    fn fig16_rows_have_two_temperature_cells() {
+        let request = tiny_request(Figure::Fig16Temperature);
+        let bytes = simulate(&request).unwrap();
+        let doc = Json::parse(std::str::from_utf8(&bytes).unwrap()).unwrap();
+        let cells = doc
+            .get("rows")
+            .unwrap()
+            .get("gcc")
+            .unwrap()
+            .as_arr()
+            .unwrap();
+        assert_eq!(cells.len(), 2);
+        let columns = doc.get("columns").unwrap().as_arr().unwrap();
+        assert_eq!(columns[0].as_str(), Some("32ms"));
+    }
+
+    #[test]
+    fn validation_errors_propagate() {
+        let mut request = tiny_request(Figure::Fig14Refresh);
+        request.benches.clear();
+        assert!(simulate(&request).is_err());
+    }
+}

@@ -1,0 +1,42 @@
+//! `zr-serve`: a long-running sweep service with single-flight request
+//! coalescing and a content-addressed result cache.
+//!
+//! Batch figure runs (`zr-bench`) recompute everything on every
+//! invocation. A sweep *service* amortizes that: experiment requests
+//! `(figure, benchmark set, scenario, config, seed)` are normalized to
+//! a canonical string, content-addressed with the same FNV-1a hash the
+//! run manifests use, and answered from a capacity-bounded LRU cache of
+//! result bytes whenever possible. Concurrent requests for the same key
+//! coalesce onto one in-flight simulation.
+//!
+//! - [`request`] — the request model and its canonical string /
+//!   content-address ([`SweepRequest::key`]).
+//! - [`cache`] — the deterministic LRU over result bytes + checksums.
+//! - [`server`] — the channel-fed worker pool, single-flight pending
+//!   map, telemetry counters and per-run manifest writing.
+//! - [`compute`] — the figure kernels rendering deterministic JSON
+//!   documents from the `zr-sim` experiment drivers.
+//! - [`proto`] — the newline-delimited JSON protocol the `zr-serve`
+//!   binary speaks on stdin/stdout.
+//!
+//! # The serving invariant
+//!
+//! A cache hit is **byte-identical** to a cold run: the cache stores
+//! the exact bytes the compute produced, the manifest checksums them,
+//! and the zr-conform `serve_determinism` gate re-runs cold after
+//! invalidation to prove `cold ≡ hit ≡ cold-again`. Nothing volatile
+//! (wall time, paths, env, thread count) reaches the result document.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod compute;
+pub mod proto;
+pub mod request;
+pub mod server;
+
+pub use cache::{CacheEntry, ResultCache};
+pub use compute::{simulate, RESULT_SCHEMA};
+pub use proto::{handle_line, parse_request, to_compact};
+pub use request::{temperature_by_name, Figure, Scenario, SweepRequest};
+pub use server::{CacheOutcome, ComputeFn, Handle, ServeReply, ServeStats, Server, ServerConfig};

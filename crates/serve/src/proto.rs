@@ -1,0 +1,416 @@
+//! The newline-delimited JSON protocol: one request object per stdin
+//! line, one response object per stdout line.
+//!
+//! # Operations
+//!
+//! | `op`           | fields                                                        |
+//! |----------------|---------------------------------------------------------------|
+//! | `sweep`        | `figure` (required), `benches`, `scenario`, `capacity_mb`, `row_bytes`, `windows`, `seed`, `temperature`, `threads` |
+//! | `invalidate` / `delete` | `key` (16-hex), or the same fields as `sweep` to derive it |
+//! | `stats`        | —                                                             |
+//! | `flush`        | —                                                             |
+//! | `shutdown`     | —                                                             |
+//!
+//! Successful responses are `{"ok":true,"op":...,...}`; failures are
+//! `{"ok":false,"error":...}` and never kill the session. Responses are
+//! rendered by a compact single-line writer that reuses the shared JSON
+//! model's escaping and number-formatting rules, so a response line
+//! parsed and re-emitted through [`Json::to_pretty`] round-trips — the
+//! CI smoke job depends on that to diff two protocol passes.
+
+use zr_prof::json::Json;
+use zr_sim::experiments::ExperimentConfig;
+use zr_types::{Error, Result};
+use zr_workloads::Benchmark;
+
+use crate::request::{temperature_by_name, Figure, Scenario, SweepRequest};
+use crate::server::Server;
+
+/// Renders a JSON value on one line — same escaping and number rules as
+/// [`Json::to_pretty`], no indentation, `", "`/`": "` separators
+/// collapsed to `","`/`":"`.
+pub fn to_compact(value: &Json) -> String {
+    let mut out = String::new();
+    write_compact(value, &mut out);
+    out
+}
+
+fn write_compact(value: &Json, out: &mut String) {
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Num(n) => out.push_str(&format_number(*n)),
+        Json::Str(s) => write_string(out, s),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(members) => {
+            out.push('{');
+            for (i, (k, v)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(out, k);
+                out.push(':');
+                write_compact(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Same rule as the shared model: integer-valued numbers print without
+/// a fractional part.
+fn format_number(n: f64) -> String {
+    if n.fract() == 0.0 && n.abs() < 9.0e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn field_str<'a>(doc: &'a Json, key: &str) -> Option<&'a str> {
+    doc.get(key).and_then(Json::as_str)
+}
+
+fn field_u64(doc: &Json, key: &str, default: u64) -> Result<u64> {
+    match doc.get(key) {
+        None | Some(Json::Null) => Ok(default),
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| Error::invalid_config(format!("field '{key}' must be an integer"))),
+    }
+}
+
+/// Parses a [`SweepRequest`] from a protocol object's fields.
+///
+/// Defaults mirror the repo's experiment conventions: scenario `paper`,
+/// 4 MiB capacity, 4 KiB rows, 3 windows, seed `0x5EED`, `extended`
+/// temperature, all benchmarks, pool width from the environment.
+///
+/// # Errors
+///
+/// [`Error::InvalidConfig`] / [`Error::UnknownName`] for missing or
+/// malformed fields.
+pub fn parse_request(doc: &Json) -> Result<SweepRequest> {
+    let figure = Figure::by_name(
+        field_str(doc, "figure").ok_or_else(|| Error::invalid_config("missing field 'figure'"))?,
+    )?;
+    let benches = match doc.get("benches") {
+        None | Some(Json::Null) => Benchmark::all().to_vec(),
+        Some(v) => {
+            let items = v
+                .as_arr()
+                .ok_or_else(|| Error::invalid_config("field 'benches' must be an array"))?;
+            items
+                .iter()
+                .map(|item| {
+                    item.as_str()
+                        .ok_or_else(|| Error::invalid_config("benchmark names must be strings"))
+                        .and_then(Benchmark::by_name)
+                })
+                .collect::<Result<Vec<Benchmark>>>()?
+        }
+    };
+    let scenario = match field_str(doc, "scenario") {
+        Some(name) => Scenario::by_name(name)?,
+        None => Scenario::Paper,
+    };
+    let temperature = match field_str(doc, "temperature") {
+        Some(name) => temperature_by_name(name)?,
+        None => zr_types::TemperatureMode::Extended,
+    };
+    let threads = match doc.get("threads") {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(
+            v.as_u64()
+                .ok_or_else(|| Error::invalid_config("field 'threads' must be an integer"))?
+                as usize,
+        ),
+    };
+    let config = ExperimentConfig {
+        capacity_bytes: field_u64(doc, "capacity_mb", 4)? << 20,
+        row_bytes: field_u64(doc, "row_bytes", 4096)? as usize,
+        windows: field_u64(doc, "windows", 3)?,
+        temperature,
+        seed: field_u64(doc, "seed", 0x5EED)?,
+        threads,
+        ..ExperimentConfig::default()
+    };
+    let request = SweepRequest::new(figure, benches, scenario, config);
+    request.validate()?;
+    Ok(request)
+}
+
+/// The key an `invalidate`/`delete` object names: an explicit 16-hex
+/// `key` field, or the content-address of the request its other fields
+/// describe.
+fn parse_key(doc: &Json) -> Result<u64> {
+    if let Some(text) = field_str(doc, "key") {
+        return zr_lens::manifest::parse_hex64(text)
+            .ok_or_else(|| Error::invalid_config("field 'key' must be 16 hex digits"));
+    }
+    Ok(parse_request(doc)?.key())
+}
+
+fn ok_response(op: &str, extra: Vec<(String, Json)>) -> Json {
+    let mut members = vec![
+        ("ok".to_string(), Json::Bool(true)),
+        ("op".to_string(), Json::Str(op.to_string())),
+    ];
+    members.extend(extra);
+    Json::Obj(members)
+}
+
+fn error_response(message: &str) -> String {
+    to_compact(&Json::Obj(vec![
+        ("ok".to_string(), Json::Bool(false)),
+        ("error".to_string(), Json::Str(message.to_string())),
+    ]))
+}
+
+/// Handles one protocol line. Returns the response line (no trailing
+/// newline) and whether the session should shut down.
+///
+/// Blank lines are ignored (empty response). Malformed input produces
+/// an `ok:false` response, never a panic or a shutdown.
+pub fn handle_line(server: &Server, line: &str) -> (String, bool) {
+    let line = line.trim();
+    if line.is_empty() {
+        return (String::new(), false);
+    }
+    let doc = match Json::parse(line) {
+        Ok(doc) => doc,
+        Err(e) => return (error_response(&format!("parse error: {e}")), false),
+    };
+    let op = field_str(&doc, "op").unwrap_or("sweep").to_string();
+    match op.as_str() {
+        "sweep" => (sweep_response(server, &doc), false),
+        "invalidate" | "delete" => match parse_key(&doc) {
+            Ok(key) => {
+                let removed = server.invalidate(key);
+                (
+                    to_compact(&ok_response(
+                        &op,
+                        vec![
+                            ("key".to_string(), Json::Str(zr_lens::hex64(key))),
+                            ("removed".to_string(), Json::Bool(removed)),
+                        ],
+                    )),
+                    false,
+                )
+            }
+            Err(e) => (error_response(&e.to_string()), false),
+        },
+        "stats" => {
+            let stats = server.stats();
+            let num = |v: u64| Json::Num(v as f64);
+            (
+                to_compact(&ok_response(
+                    "stats",
+                    vec![
+                        ("hits".to_string(), num(stats.hits)),
+                        ("misses".to_string(), num(stats.misses)),
+                        ("coalesced".to_string(), num(stats.coalesced)),
+                        ("evictions".to_string(), num(stats.evictions)),
+                        ("executed".to_string(), num(stats.executed)),
+                        ("cached".to_string(), num(stats.cached)),
+                        ("capacity".to_string(), num(stats.capacity)),
+                    ],
+                )),
+                false,
+            )
+        }
+        "flush" => {
+            let dropped = server.flush();
+            (
+                to_compact(&ok_response(
+                    "flush",
+                    vec![("dropped".to_string(), Json::Num(dropped as f64))],
+                )),
+                false,
+            )
+        }
+        "shutdown" => (to_compact(&ok_response("shutdown", Vec::new())), true),
+        other => (error_response(&format!("unknown op '{other}'")), false),
+    }
+}
+
+/// Runs a `sweep` op: submit, wait, embed the (re-parsed) result
+/// document in the response together with the outcome and checksum.
+fn sweep_response(server: &Server, doc: &Json) -> String {
+    let request = match parse_request(doc) {
+        Ok(request) => request,
+        Err(e) => return error_response(&e.to_string()),
+    };
+    let handle = server.submit(request);
+    let key = handle.key();
+    match handle.wait() {
+        Ok(reply) => {
+            let result = std::str::from_utf8(&reply.bytes)
+                .ok()
+                .and_then(|text| Json::parse(text).ok())
+                .unwrap_or(Json::Null);
+            to_compact(&ok_response(
+                "sweep",
+                vec![
+                    ("key".to_string(), Json::Str(zr_lens::hex64(key))),
+                    (
+                        "outcome".to_string(),
+                        Json::Str(reply.outcome.name().to_string()),
+                    ),
+                    ("fnv".to_string(), Json::Str(zr_lens::hex64(reply.fnv))),
+                    ("bytes".to_string(), Json::Num(reply.bytes.len() as f64)),
+                    ("result".to_string(), result),
+                ],
+            ))
+        }
+        Err(e) => error_response(&e.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{ComputeFn, ServerConfig};
+    use std::sync::Arc;
+
+    fn stub_server() -> Server {
+        let compute: ComputeFn =
+            Arc::new(|req| Ok(format!("{{\"echo\": \"{}\"}}\n", req.figure.name()).into_bytes()));
+        Server::new(
+            ServerConfig {
+                cache_entries: 8,
+                workers: 1,
+                lens_dir: None,
+            },
+            compute,
+        )
+    }
+
+    #[test]
+    fn compact_writer_matches_pretty_semantics() {
+        let text = r#"{"a": [1, 2.5, "x\n"], "b": {"c": null, "d": true}}"#;
+        let doc = Json::parse(text).unwrap();
+        let compact = to_compact(&doc);
+        assert!(!compact.contains('\n'));
+        assert_eq!(Json::parse(&compact).unwrap(), doc);
+        assert_eq!(compact, r#"{"a":[1,2.5,"x\n"],"b":{"c":null,"d":true}}"#);
+    }
+
+    #[test]
+    fn sweep_round_trip_reports_outcomes() {
+        let server = stub_server();
+        let line = r#"{"op":"sweep","figure":"fig14","benches":["gcc"],"scenario":"full","capacity_mb":1,"windows":1}"#;
+        let (first, down) = handle_line(&server, line);
+        assert!(!down);
+        let doc = Json::parse(&first).unwrap();
+        assert_eq!(doc.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(doc.get("outcome").and_then(Json::as_str), Some("miss"));
+        let (second, _) = handle_line(&server, line);
+        let doc2 = Json::parse(&second).unwrap();
+        assert_eq!(doc2.get("outcome").and_then(Json::as_str), Some("hit"));
+        assert_eq!(doc.get("fnv"), doc2.get("fnv"));
+        assert_eq!(doc.get("result"), doc2.get("result"));
+    }
+
+    #[test]
+    fn invalidate_by_key_and_by_fields() {
+        let server = stub_server();
+        let line = r#"{"op":"sweep","figure":"fig14","benches":["gcc"],"scenario":"full"}"#;
+        let (resp, _) = handle_line(&server, line);
+        let key = Json::parse(&resp)
+            .unwrap()
+            .get("key")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_string();
+        let (resp, _) = handle_line(&server, &format!(r#"{{"op":"invalidate","key":"{key}"}}"#));
+        let doc = Json::parse(&resp).unwrap();
+        assert_eq!(doc.get("removed"), Some(&Json::Bool(true)));
+        // Same request again, then delete by fields instead of key.
+        handle_line(&server, line);
+        let (resp, _) = handle_line(
+            &server,
+            r#"{"op":"delete","figure":"fig14","benches":["gcc"],"scenario":"full"}"#,
+        );
+        let doc = Json::parse(&resp).unwrap();
+        assert_eq!(doc.get("removed"), Some(&Json::Bool(true)));
+        assert_eq!(doc.get("key").and_then(Json::as_str), Some(key.as_str()));
+    }
+
+    #[test]
+    fn stats_flush_and_shutdown_ops() {
+        let server = stub_server();
+        handle_line(
+            &server,
+            r#"{"op":"sweep","figure":"fig15","benches":["mcf"]}"#,
+        );
+        let (resp, _) = handle_line(&server, r#"{"op":"stats"}"#);
+        let doc = Json::parse(&resp).unwrap();
+        assert_eq!(doc.get("misses").and_then(Json::as_u64), Some(1));
+        assert_eq!(doc.get("cached").and_then(Json::as_u64), Some(1));
+        let (resp, _) = handle_line(&server, r#"{"op":"flush"}"#);
+        assert_eq!(
+            Json::parse(&resp)
+                .unwrap()
+                .get("dropped")
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        let (resp, down) = handle_line(&server, r#"{"op":"shutdown"}"#);
+        assert!(down);
+        assert!(resp.contains("\"shutdown\""));
+    }
+
+    #[test]
+    fn malformed_input_is_survivable() {
+        let server = stub_server();
+        let (resp, down) = handle_line(&server, "not json");
+        assert!(!down);
+        assert!(resp.contains("\"ok\":false"));
+        let (resp, _) = handle_line(&server, r#"{"op":"sweep"}"#);
+        assert!(resp.contains("missing field 'figure'"));
+        let (resp, _) = handle_line(&server, r#"{"op":"sweep","figure":"fig99"}"#);
+        assert!(resp.contains("\"ok\":false"));
+        let (resp, _) = handle_line(&server, r#"{"op":"warp"}"#);
+        assert!(resp.contains("unknown op"));
+        let (resp, _) = handle_line(&server, "");
+        assert!(resp.is_empty());
+    }
+
+    #[test]
+    fn parse_request_applies_documented_defaults() {
+        let doc = Json::parse(r#"{"figure":"fig14"}"#).unwrap();
+        let request = parse_request(&doc).unwrap();
+        assert_eq!(request.scenario, crate::request::Scenario::Paper);
+        assert_eq!(request.benches.len(), Benchmark::all().len());
+        assert_eq!(request.config.capacity_bytes, 4 << 20);
+        assert_eq!(request.config.windows, 3);
+        assert_eq!(request.config.seed, 0x5EED);
+        assert_eq!(request.config.threads, None);
+    }
+}

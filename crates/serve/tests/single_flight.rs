@@ -1,0 +1,158 @@
+//! Single-flight gate: N racing clients of the same key cost exactly
+//! one simulation, and every client receives the same bytes.
+//!
+//! The first test pins the coalescing machinery with a gated stub
+//! compute (so the in-flight window is held open until every client
+//! has submitted); the second pins the serving invariant on the real
+//! simulator across pool widths: a server computing at `threads = 1`
+//! serves byte-identical results to one computing at `threads = 4`.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use zr_serve::{CacheOutcome, ComputeFn, Server, ServerConfig, SweepRequest};
+use zr_sim::experiments::ExperimentConfig;
+use zr_telemetry::Telemetry;
+use zr_workloads::Benchmark;
+
+fn request() -> SweepRequest {
+    SweepRequest::new(
+        zr_serve::Figure::Fig14Refresh,
+        vec![Benchmark::Gcc],
+        zr_serve::Scenario::Full,
+        ExperimentConfig {
+            capacity_bytes: 1 << 20,
+            windows: 1,
+            ..ExperimentConfig::default()
+        },
+    )
+}
+
+#[test]
+fn n_racing_clients_execute_exactly_one_job() {
+    const CLIENTS: usize = 8;
+    let telemetry = Arc::new(Telemetry::new());
+    let _current = Telemetry::push_current(Arc::clone(&telemetry));
+    let executions = Arc::new(AtomicUsize::new(0));
+    let release = Arc::new(AtomicBool::new(false));
+    let compute: ComputeFn = {
+        let executions = Arc::clone(&executions);
+        let release = Arc::clone(&release);
+        Arc::new(move |req: &SweepRequest| {
+            executions.fetch_add(1, Ordering::SeqCst);
+            // Hold the job in flight until the test releases it, so
+            // every client submits while the key is still pending.
+            while !release.load(Ordering::SeqCst) {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            Ok(req.canonical_string().into_bytes())
+        })
+    };
+    let server = Server::new(
+        ServerConfig {
+            cache_entries: 4,
+            workers: 2,
+            lens_dir: None,
+        },
+        compute,
+    );
+    let replies = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| scope.spawn(|| server.submit(request()).wait().unwrap()))
+            .collect();
+        // Release the gated job only once every client is accounted
+        // for — submitted, or already queued on the scoped thread that
+        // is about to submit. Submission is cheap (one lock), so this
+        // settles immediately; the deadline guards against regressions
+        // hanging the suite.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        loop {
+            let stats = server.stats();
+            if stats.misses + stats.coalesced + stats.hits >= CLIENTS as u64 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "clients never all submitted: {stats:?}"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        release.store(true, Ordering::SeqCst);
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect::<Vec<_>>()
+    });
+
+    assert_eq!(
+        executions.load(Ordering::SeqCst),
+        1,
+        "the compute function must run exactly once for one key"
+    );
+    assert_eq!(
+        telemetry.snapshot().counter("serve.jobs.executed"),
+        1,
+        "serve.jobs.executed must count one execution"
+    );
+    let first = &replies[0];
+    for reply in &replies {
+        assert_eq!(reply.bytes, first.bytes, "all clients get identical bytes");
+        assert_eq!(reply.fnv, first.fnv);
+    }
+    let misses = replies
+        .iter()
+        .filter(|r| r.outcome == CacheOutcome::Miss)
+        .count();
+    let coalesced = replies
+        .iter()
+        .filter(|r| r.outcome == CacheOutcome::Coalesced)
+        .count();
+    assert_eq!(misses, 1, "exactly one client claims the key");
+    assert_eq!(
+        coalesced,
+        CLIENTS - 1,
+        "every other client coalesces onto the in-flight job"
+    );
+    let stats = server.stats();
+    assert_eq!(stats.executed, 1);
+    assert_eq!(stats.misses, 1);
+    assert_eq!(stats.coalesced, (CLIENTS - 1) as u64);
+}
+
+#[test]
+fn served_bytes_are_identical_across_pool_widths() {
+    let serve_at = |threads: usize| {
+        let server = Server::simulator(ServerConfig {
+            cache_entries: 4,
+            workers: 1,
+            lens_dir: None,
+        });
+        let mut req = request();
+        req.config.threads = Some(threads);
+        let reply = server.submit(req).wait().unwrap();
+        assert_eq!(reply.outcome, CacheOutcome::Miss);
+        reply
+    };
+    let serial = serve_at(1);
+    let pooled = serve_at(4);
+    assert_eq!(
+        serial.bytes, pooled.bytes,
+        "pool width must not leak into served bytes"
+    );
+    assert_eq!(serial.fnv, pooled.fnv);
+    // And the pool width must not change the cache key either: a
+    // single server sees the second width as a plain hit.
+    let server = Server::simulator(ServerConfig::default());
+    let mut one = request();
+    one.config.threads = Some(1);
+    let mut four = request();
+    four.config.threads = Some(4);
+    assert_eq!(
+        server.submit(one).wait().unwrap().outcome,
+        CacheOutcome::Miss
+    );
+    assert_eq!(
+        server.submit(four).wait().unwrap().outcome,
+        CacheOutcome::Hit
+    );
+}

@@ -21,6 +21,9 @@
 //!   history over `zr-prof` captures (see docs/INSIGHT.md);
 //! - [`zr_baselines`] — Smart Refresh and the conventional baseline;
 //! - [`zr_sim`] — the experiment drivers reproducing the evaluation;
+//! - [`zr_serve`] — the long-running sweep service with a
+//!   content-addressed result cache and single-flight coalescing
+//!   (see docs/SERVE.md);
 //! - [`zr_types`] — shared configuration and geometry types.
 //!
 //! # Examples
@@ -43,6 +46,7 @@ pub use zr_energy;
 pub use zr_insight;
 pub use zr_memctrl;
 pub use zr_par;
+pub use zr_serve;
 pub use zr_sim;
 pub use zr_timing;
 pub use zr_trace;
