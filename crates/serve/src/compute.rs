@@ -219,4 +219,19 @@ mod tests {
         request.benches.clear();
         assert!(simulate(&request).is_err());
     }
+
+    #[test]
+    fn degenerate_system_configs_error_instead_of_panicking() {
+        // row_bytes = 0 used to divide-by-zero in rows_per_bank()
+        // before any validation ran (REVIEW: protocol-reachable panic).
+        let mut zero_row = tiny_request(Figure::Fig14Refresh);
+        zero_row.config.row_bytes = 0;
+        assert!(simulate(&zero_row).is_err());
+        let mut odd_row = tiny_request(Figure::Fig15Energy);
+        odd_row.config.row_bytes = 3000;
+        assert!(simulate(&odd_row).is_err());
+        let mut ragged = tiny_request(Figure::Fig16Temperature);
+        ragged.config.capacity_bytes = 4096 * 8 + 17;
+        assert!(simulate(&ragged).is_err());
+    }
 }

@@ -403,6 +403,22 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_config_is_an_error_response_and_the_service_survives() {
+        let server = stub_server();
+        // The reviewer's repro: row_bytes 0 must be rejected at parse
+        // time, not panic a worker inside system_config().
+        let (resp, down) = handle_line(&server, r#"{"figure":"fig14","row_bytes":0}"#);
+        assert!(!down);
+        assert!(resp.contains("\"ok\":false"), "{resp}");
+        // The service must still answer afterwards — two such lines
+        // used to kill both default workers and wedge it permanently.
+        let (resp, _) = handle_line(&server, r#"{"figure":"fig14","row_bytes":0}"#);
+        assert!(resp.contains("\"ok\":false"));
+        let (resp, _) = handle_line(&server, r#"{"op":"stats"}"#);
+        assert!(resp.contains("\"ok\":true"), "{resp}");
+    }
+
+    #[test]
     fn parse_request_applies_documented_defaults() {
         let doc = Json::parse(r#"{"figure":"fig14"}"#).unwrap();
         let request = parse_request(&doc).unwrap();

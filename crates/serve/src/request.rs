@@ -195,12 +195,16 @@ impl SweepRequest {
         zr_lens::fnv64(self.canonical_string().as_bytes())
     }
 
-    /// Validates the parts of the request the compute layer assumes.
+    /// Validates the parts of the request the compute layer assumes,
+    /// including the [`zr_types::SystemConfig`] the experiment config
+    /// derives — a protocol-supplied `row_bytes: 0` or a capacity that
+    /// is not a whole number of rows must surface as an error here, not
+    /// as a panic inside a worker thread.
     ///
     /// # Errors
     ///
-    /// [`Error::InvalidConfig`] for an empty benchmark set or a zero
-    /// window count.
+    /// [`Error::InvalidConfig`] for an empty benchmark set, a zero
+    /// window count, or a degenerate derived system configuration.
     pub fn validate(&self) -> Result<()> {
         if self.benches.is_empty() {
             return Err(Error::invalid_config("request has no benchmarks"));
@@ -208,7 +212,7 @@ impl SweepRequest {
         if self.config.windows == 0 {
             return Err(Error::invalid_config("request has zero windows"));
         }
-        Ok(())
+        self.config.validate()
     }
 }
 

@@ -31,6 +31,7 @@
 //! reconciles served runs exactly like batch runs.
 
 use std::collections::{BTreeMap, HashMap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
@@ -146,8 +147,10 @@ impl Handle {
     /// # Errors
     ///
     /// The compute function's error, verbatim, delivered to *every*
-    /// waiter of the failed job; or [`Error::InvalidConfig`] if the
-    /// worker disappeared without replying (a compute panic).
+    /// waiter of the failed job. A panicking compute is caught by the
+    /// worker ([`run_job`]'s unwind guard) and delivered the same way,
+    /// as [`Error::InvalidConfig`]; the channel-closed fallback below is
+    /// defensive only — no live code path drops a claimed waiter.
     pub fn wait(self) -> Result<ServeReply> {
         self.rx.recv().map_err(|_| {
             Error::invalid_config("serve worker dropped the reply channel before answering")
@@ -260,21 +263,31 @@ impl Server {
                 state.stats.coalesced += 1;
                 self.inner.telemetry.counter("serve.cache.coalesce").add(1);
                 false
-            } else {
+            } else if self.tx.is_some() {
                 state.stats.misses += 1;
                 self.inner.telemetry.counter("serve.cache.miss").add(1);
                 state.pending.insert(key, vec![(CacheOutcome::Miss, tx)]);
                 true
+            } else {
+                // Shut down: the queue is gone, so claiming the key here
+                // would strand this waiter — and every later same-key
+                // submit that coalesced onto it — on a job that can
+                // never run. Answer with an error instead.
+                let _ = tx.send(Err(Error::invalid_config(
+                    "serve: submit after shutdown (cache hits only)",
+                )));
+                false
             }
         };
         if enqueue {
-            // The pending map already claims the key, so losing this
-            // send (shutdown in progress) cannot strand a later caller
-            // on a ghost entry: the waiter's channel closing surfaces
-            // the error from `Handle::wait`.
-            if let Some(tx) = &self.tx {
-                let _ = tx.send(Job { key, request });
-            }
+            // `shutdown` needs `&mut self`, so the queue checked above
+            // cannot disappear while this `&self` borrow is live: a
+            // claimed key always gets its job enqueued.
+            let _ = self
+                .tx
+                .as_ref()
+                .expect("claimed a key with no job queue")
+                .send(Job { key, request });
         }
         handle
     }
@@ -352,7 +365,17 @@ fn run_job(inner: &Inner, job: &Job) {
     let result = {
         let _current = Telemetry::push_current(Arc::clone(&fork));
         let _span = fork.span("serve.compute");
-        (inner.compute)(&job.request)
+        // A panicking compute must not unwind the worker: the pending
+        // entry would leak, deadlocking its waiters and every future
+        // same-key submit (they would coalesce onto a ghost entry).
+        // Caught here, a panic is just another failed job — waiters get
+        // an error and the key is released below.
+        catch_unwind(AssertUnwindSafe(|| (inner.compute)(&job.request))).unwrap_or_else(|payload| {
+            Err(Error::invalid_config(format!(
+                "compute panicked: {}",
+                panic_reason(payload.as_ref())
+            )))
+        })
     };
     let wall_ns = started.elapsed().as_nanos() as u64;
     // The fork started from zero, so its snapshot *is* the job's
@@ -397,6 +420,19 @@ fn run_job(inner: &Inner, job: &Job) {
                 let _ = tx.send(Err(e.clone()));
             }
         }
+    }
+}
+
+/// The human-readable part of a caught panic payload — `panic!` with a
+/// literal or a formatted message covers every panic the simulator can
+/// raise (including the std arithmetic and slice panics).
+fn panic_reason(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
     }
 }
 
@@ -531,6 +567,52 @@ mod tests {
         // The key was released: a retry claims it again (and fails again).
         assert!(server.submit(request(3)).wait().is_err());
         assert_eq!(server.stats().executed, 2);
+    }
+
+    #[test]
+    fn panicking_compute_is_an_error_not_a_wedged_worker() {
+        let panicking: ComputeFn = Arc::new(|req: &SweepRequest| {
+            if req.config.seed == 13 {
+                panic!("injected panic");
+            }
+            Ok(req.canonical_string().into_bytes())
+        });
+        // One worker: it must survive the panic to answer anything else.
+        let server = Server::new(
+            ServerConfig {
+                cache_entries: 4,
+                workers: 1,
+                lens_dir: None,
+            },
+            panicking,
+        );
+        let err = server.submit(request(13)).wait().unwrap_err();
+        assert!(err.to_string().contains("panicked"), "{err}");
+        // The worker survived and the key was released: other keys are
+        // served, a retry of the panicking key re-executes (and fails
+        // again) instead of coalescing onto a ghost pending entry.
+        let ok = server.submit(request(14)).wait().unwrap();
+        assert_eq!(ok.outcome, CacheOutcome::Miss);
+        assert!(server.submit(request(13)).wait().is_err());
+        let stats = server.stats();
+        assert_eq!((stats.executed, stats.cached), (3, 1));
+    }
+
+    #[test]
+    fn submit_after_shutdown_errors_instead_of_hanging() {
+        let mut server = Server::new(ServerConfig::default(), stub());
+        let warm = server.submit(request(7)).wait().unwrap();
+        server.shutdown();
+        // Cache hits are still served after shutdown...
+        let hit = server.submit(request(7)).wait().unwrap();
+        assert_eq!(hit.outcome, CacheOutcome::Hit);
+        assert_eq!(hit.bytes, warm.bytes);
+        // ...but an uncached key cannot run: the waiter gets an error at
+        // once, and the key is never claimed, so repeated submits error
+        // too instead of coalescing onto a dead pending entry.
+        assert!(server.submit(request(8)).wait().is_err());
+        assert!(server.submit(request(8)).wait().is_err());
+        assert_eq!(server.stats().executed, 1);
     }
 
     #[test]

@@ -106,6 +106,26 @@ impl ExperimentConfig {
         )
     }
 
+    /// Validates the experiment knobs and the [`zr_types::SystemConfig`]
+    /// they derive.
+    ///
+    /// The zero-row-size guard runs *before* [`Self::system_config`] is
+    /// built, because deriving the geometry divides by `row_bytes` — on
+    /// protocol-reachable paths (zr-serve) a degenerate request must
+    /// surface as an error, never a panic.
+    ///
+    /// # Errors
+    ///
+    /// [`zr_types::Error::InvalidConfig`] for a zero row size or any
+    /// inconsistency [`zr_types::SystemConfig::validate`] reports in the
+    /// derived system.
+    pub fn validate(&self) -> zr_types::Result<()> {
+        if self.row_bytes == 0 {
+            return Err(zr_types::Error::invalid_config("row_bytes must be non-zero"));
+        }
+        self.system_config().validate()
+    }
+
     /// The [`zr_types::SystemConfig`] realizing this experiment setup.
     ///
     /// The true/anti-cell block size scales with the capacity (1/8 of the
@@ -131,5 +151,35 @@ impl ExperimentConfig {
             zr_types::TemperatureMode::Extended => 1.0,
             zr_types::TemperatureMode::Normal => 2.0,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_configs_validate() {
+        ExperimentConfig::default().validate().unwrap();
+        ExperimentConfig::tiny_test().validate().unwrap();
+        ExperimentConfig::conform_test().validate().unwrap();
+    }
+
+    #[test]
+    fn degenerate_configs_error_instead_of_panicking() {
+        // Zero row size would divide-by-zero in rows_per_bank() if it
+        // reached system_config(); validate() must catch it first.
+        let mut zero_row = ExperimentConfig::tiny_test();
+        zero_row.row_bytes = 0;
+        assert!(zero_row.validate().is_err());
+        let mut odd_row = ExperimentConfig::tiny_test();
+        odd_row.row_bytes = 3000;
+        assert!(odd_row.validate().is_err());
+        let mut ragged = ExperimentConfig::tiny_test();
+        ragged.capacity_bytes = 4096 * 8 + 17;
+        assert!(ragged.validate().is_err());
+        let mut empty = ExperimentConfig::tiny_test();
+        empty.capacity_bytes = 0;
+        assert!(empty.validate().is_err());
     }
 }
